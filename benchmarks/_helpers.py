@@ -1,0 +1,78 @@
+"""Shared helpers for the benchmark suite (imported by the bench modules).
+
+Every benchmark regenerates the data behind one figure of the paper's
+evaluation at a scaled-down size (see DESIGN.md §4 and EXPERIMENTS.md).
+Set the environment variable ``REPRO_BENCH_SCALE`` to a value above 1.0
+to move the instances towards the paper's original scale.
+
+Each benchmark case runs one selection algorithm on one sweep point; the
+wall-clock time is measured by pytest-benchmark and the resulting
+expected information flow is attached as ``extra_info`` so that both of
+the paper's series (flow and runtime) can be read from one benchmark
+run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.experiments.harness import evaluate_flow, pick_query_vertex
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.selection.registry import make_selector
+from repro.types import VertexId
+
+
+def bench_scale() -> float:
+    """Read the global benchmark scale factor (default 1.0)."""
+    try:
+        return max(0.1, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+def scaled(value: int, minimum: int = 4) -> int:
+    """Scale an instance-size parameter by ``REPRO_BENCH_SCALE``."""
+    return max(minimum, int(round(value * bench_scale())))
+
+
+#: algorithms benchmarked on most figures (Naive only joins the smallest ones)
+FT_ALGORITHMS = ("Dijkstra", "FT", "FT+M", "FT+M+CI", "FT+M+DS", "FT+M+CI+DS")
+
+
+def run_selection_benchmark(
+    benchmark,
+    graph: UncertainGraph,
+    algorithm: str,
+    budget: int,
+    n_samples: int = 120,
+    seed: int = 7,
+    query: Optional[VertexId] = None,
+) -> None:
+    """Benchmark one selection run and record its evaluated flow.
+
+    The selection itself is what the paper times; the flow of the
+    selected subgraph is re-evaluated once outside the timed section
+    with a shared, higher-precision estimator.
+    """
+    query = pick_query_vertex(graph) if query is None else query
+    selector = make_selector(algorithm, n_samples=n_samples, seed=seed)
+
+    result_holder: Dict[str, object] = {}
+
+    def run():
+        result_holder["result"] = selector.select(graph, query, budget)
+        return result_holder["result"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    result = result_holder["result"]
+    flow = evaluate_flow(
+        graph, result.selected_edges, query, n_samples=max(400, n_samples), seed=123
+    )
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["graph"] = graph.name
+    benchmark.extra_info["n_vertices"] = graph.n_vertices
+    benchmark.extra_info["n_edges"] = graph.n_edges
+    benchmark.extra_info["budget"] = budget
+    benchmark.extra_info["expected_flow"] = round(flow, 4)
+    benchmark.extra_info["edges_selected"] = result.n_selected

@@ -1,0 +1,70 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not figures of the paper, but ablations of this reproduction's own design
+decisions: the exact-evaluation threshold for small bi-connected
+components, robustness to misestimated edge probabilities, and the
+lazy-greedy extension versus the paper's delayed-sampling heuristic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import scaled
+from repro.experiments.ablations import (
+    exact_threshold_ablation,
+    lazy_versus_eager_greedy,
+    probability_misestimation_robustness,
+)
+from repro.experiments.config import ExperimentConfig
+
+CONFIG = ExperimentConfig(
+    n_vertices=scaled(200),
+    degree=6,
+    budget=scaled(12, minimum=6),
+    n_samples=100,
+    naive_samples=40,
+    algorithms=("FT+M",),
+    seed=3,
+)
+
+
+def test_exact_threshold_ablation(benchmark):
+    """Runtime/flow trade-off of evaluating small components exactly instead of sampling."""
+    result = benchmark.pedantic(
+        exact_threshold_ablation,
+        kwargs={"thresholds": (0, 8, 12), "config": CONFIG},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    for row in result.rows:
+        benchmark.extra_info[f"flow_thr_{row['exact_threshold']}"] = round(row["evaluated_flow"], 3)
+
+
+def test_probability_noise_robustness(benchmark):
+    """Flow retained when probabilities are misestimated by up to 50 %."""
+    result = benchmark.pedantic(
+        probability_misestimation_robustness,
+        kwargs={"noise_levels": (0.0, 0.25, 0.5), "config": CONFIG},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    for row in result.rows:
+        key = f"{row['algorithm']}_noise_{row['noise']}"
+        benchmark.extra_info[key] = round(row["evaluated_flow"], 3)
+
+
+def test_lazy_versus_eager_greedy(benchmark):
+    """CELF-style lazy greedy versus the paper's eager greedy and delayed sampling."""
+    result = benchmark.pedantic(
+        lazy_versus_eager_greedy,
+        kwargs={"budgets": (CONFIG.budget,), "config": CONFIG},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    for row in result.rows:
+        benchmark.extra_info[f"{row['algorithm']}_evaluations"] = row["flow_evaluations"]
+        benchmark.extra_info[f"{row['algorithm']}_flow"] = round(row["evaluated_flow"], 3)

@@ -1,0 +1,57 @@
+"""Figure 5: expected flow and runtime versus graph size.
+
+* Fig. 5(a): *partitioned* graphs (locality assumption).
+* Fig. 5(b): Erdős graphs (no locality assumption).
+
+Paper setting: |V| swept up to 10,000, degree 6, k = 200, 1000 samples.
+Here the sizes are scaled down (see EXPERIMENTS.md); the series shapes —
+Dijkstra fastest but far less flow on locality graphs, all algorithms
+roughly size-independent under the locality assumption — are preserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import FT_ALGORITHMS, run_selection_benchmark, scaled
+from repro.graph.generators import erdos_renyi_graph, partitioned_graph
+
+SIZES = (scaled(150), scaled(300), scaled(600))
+BUDGET = scaled(12, minimum=6)
+
+
+def _locality_graph(graph_cache, size):
+    key = ("fig5a", size)
+    if key not in graph_cache:
+        graph_cache[key] = partitioned_graph(size, degree=6, seed=size)
+    return graph_cache[key]
+
+
+def _no_locality_graph(graph_cache, size):
+    key = ("fig5b", size)
+    if key not in graph_cache:
+        graph_cache[key] = erdos_renyi_graph(size, average_degree=6.0, seed=size)
+    return graph_cache[key]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("algorithm", FT_ALGORITHMS)
+def test_fig5a_locality_graph_size(benchmark, graph_cache, size, algorithm):
+    """Fig. 5(a): graph-size sweep with locality assumption."""
+    graph = _locality_graph(graph_cache, size)
+    run_selection_benchmark(benchmark, graph, algorithm, BUDGET)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("algorithm", FT_ALGORITHMS)
+def test_fig5b_no_locality_graph_size(benchmark, graph_cache, size, algorithm):
+    """Fig. 5(b): graph-size sweep without locality assumption."""
+    graph = _no_locality_graph(graph_cache, size)
+    run_selection_benchmark(benchmark, graph, algorithm, BUDGET)
+
+
+@pytest.mark.parametrize("size", SIZES[:1])
+def test_fig5_naive_baseline_smallest_size(benchmark, graph_cache, size):
+    """The Naive whole-graph-sampling baseline, only on the smallest instance (it is slow)."""
+    graph = _no_locality_graph(graph_cache, size)
+    run_selection_benchmark(benchmark, graph, "Naive", BUDGET, n_samples=60)

@@ -1,0 +1,39 @@
+"""Figure 6: expected flow and runtime versus graph density (vertex degree).
+
+* Fig. 6(a): *partitioned* graphs (locality) — the FT variants' advantage
+  over Dijkstra is largest at low degree.
+* Fig. 6(b): Erdős graphs (no locality) — the paper notes that Dijkstra
+  closes the gap (and can win) at small degrees, where the optimal
+  solution is almost tree-like.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import FT_ALGORITHMS, run_selection_benchmark, scaled
+from repro.graph.generators import erdos_renyi_graph, partitioned_graph
+
+DEGREES = (4, 6, 10)
+N_VERTICES = scaled(300)
+BUDGET = scaled(12, minimum=6)
+
+
+@pytest.mark.parametrize("degree", DEGREES)
+@pytest.mark.parametrize("algorithm", FT_ALGORITHMS)
+def test_fig6a_locality_density(benchmark, graph_cache, degree, algorithm):
+    """Fig. 6(a): density sweep with locality assumption."""
+    key = ("fig6a", degree)
+    if key not in graph_cache:
+        graph_cache[key] = partitioned_graph(N_VERTICES, degree=degree, seed=degree)
+    run_selection_benchmark(benchmark, graph_cache[key], algorithm, BUDGET)
+
+
+@pytest.mark.parametrize("degree", DEGREES)
+@pytest.mark.parametrize("algorithm", FT_ALGORITHMS)
+def test_fig6b_no_locality_density(benchmark, graph_cache, degree, algorithm):
+    """Fig. 6(b): density sweep without locality assumption."""
+    key = ("fig6b", degree)
+    if key not in graph_cache:
+        graph_cache[key] = erdos_renyi_graph(N_VERTICES, average_degree=degree, seed=degree)
+    run_selection_benchmark(benchmark, graph_cache[key], algorithm, BUDGET)

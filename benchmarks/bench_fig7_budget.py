@@ -1,0 +1,46 @@
+"""Figure 7: expected flow and runtime versus the edge budget k.
+
+The paper's central sweep: as k grows, the Dijkstra spanning tree keeps
+adding ever longer (and hence ever less reliable) paths without backup
+edges, so its flow falls further and further behind the FT variants —
+most dramatically under the locality assumption (Fig. 7(a)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import FT_ALGORITHMS, run_selection_benchmark, scaled
+from repro.graph.generators import erdos_renyi_graph, partitioned_graph
+
+BUDGETS = (scaled(8, minimum=4), scaled(16, minimum=8), scaled(32, minimum=16))
+N_VERTICES = scaled(300)
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+@pytest.mark.parametrize("algorithm", FT_ALGORITHMS)
+def test_fig7a_locality_budget(benchmark, graph_cache, budget, algorithm):
+    """Fig. 7(a): budget sweep with locality assumption."""
+    key = ("fig7a",)
+    if key not in graph_cache:
+        graph_cache[key] = partitioned_graph(N_VERTICES, degree=6, seed=0)
+    run_selection_benchmark(benchmark, graph_cache[key], algorithm, budget)
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+@pytest.mark.parametrize("algorithm", FT_ALGORITHMS)
+def test_fig7b_no_locality_budget(benchmark, graph_cache, budget, algorithm):
+    """Fig. 7(b): budget sweep without locality assumption."""
+    key = ("fig7b",)
+    if key not in graph_cache:
+        graph_cache[key] = erdos_renyi_graph(N_VERTICES, average_degree=6.0, seed=0)
+    run_selection_benchmark(benchmark, graph_cache[key], algorithm, budget)
+
+
+@pytest.mark.parametrize("budget", BUDGETS[:2])
+def test_fig7_naive_baseline(benchmark, graph_cache, budget):
+    """Naive baseline on the locality instance at the two smallest budgets."""
+    key = ("fig7a",)
+    if key not in graph_cache:
+        graph_cache[key] = partitioned_graph(N_VERTICES, degree=6, seed=0)
+    run_selection_benchmark(benchmark, graph_cache[key], "Naive", budget, n_samples=60)

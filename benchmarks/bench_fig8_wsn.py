@@ -1,0 +1,35 @@
+"""Figure 8: synthetic wireless sensor networks.
+
+Vertices are sensors placed uniformly in the unit square, connected when
+closer than ``eps``; Fig. 8(a) uses eps = 0.05, Fig. 8(b) eps = 0.07.
+The paper reports the same qualitative behaviour as on the partitioned
+graphs: a strong locality structure, a large Dijkstra flow deficit and a
+good runtime/flow trade-off for the combined heuristics; increasing eps
+(denser networks) narrows the gap between Dijkstra and the FT variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import FT_ALGORITHMS, run_selection_benchmark, scaled
+from repro.graph.generators import wsn_graph
+
+EPS_VALUES = (0.05, 0.07)
+N_SENSORS = scaled(600)
+BUDGET = scaled(16, minimum=8)
+
+
+def _wsn(graph_cache, eps):
+    key = ("fig8", eps)
+    if key not in graph_cache:
+        graph_cache[key] = wsn_graph(N_SENSORS, eps=eps, seed=17)
+    return graph_cache[key]
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+@pytest.mark.parametrize("algorithm", FT_ALGORITHMS)
+def test_fig8_wsn(benchmark, graph_cache, eps, algorithm):
+    """Fig. 8(a)/(b): WSN budget-constrained flow maximisation for each radio range."""
+    graph = _wsn(graph_cache, eps)
+    run_selection_benchmark(benchmark, graph, algorithm, BUDGET)

@@ -1,0 +1,56 @@
+"""Figures 1 and 3: the paper's worked examples.
+
+These micro-benchmarks time (a) the exact reproduction of Example 1
+(all-edges flow, Dijkstra spanning tree, optimal five-edge subgraph) and
+(b) the incremental construction and evaluation of the Figure-3 F-tree,
+whose expected flow must equal exact possible-world enumeration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.running_example import (
+    QUERY,
+    example1_report,
+    ftree_example_graph,
+    ftree_example_insertion_order,
+    ftree_example_report,
+)
+from repro.ftree.ftree import FTree
+from repro.ftree.sampler import ComponentSampler
+
+
+def test_example1_exact_reproduction(benchmark):
+    """Example 1: exact flows of the three discussed solutions (Figure 1)."""
+    report = benchmark(example1_report)
+    benchmark.extra_info["flow_all_edges"] = round(report.flow_all_edges, 4)
+    benchmark.extra_info["flow_dijkstra_tree"] = round(report.flow_dijkstra_tree, 4)
+    benchmark.extra_info["flow_optimal_five"] = round(report.flow_optimal_five, 4)
+    benchmark.extra_info["optimal_dominates_dijkstra"] = report.optimal_dominates_dijkstra
+    assert report.optimal_dominates_dijkstra
+
+
+def test_figure3_incremental_ftree_construction(benchmark):
+    """Figure 3: incremental F-tree construction and flow evaluation."""
+    graph = ftree_example_graph()
+    order = ftree_example_insertion_order()
+
+    def build_and_evaluate():
+        ftree = FTree(
+            graph, QUERY, sampler=ComponentSampler(n_samples=500, exact_threshold=12, seed=0)
+        )
+        for edge in order:
+            ftree.insert_edge(edge.u, edge.v)
+        return ftree.expected_flow()
+
+    flow = benchmark(build_and_evaluate)
+    benchmark.extra_info["ftree_flow"] = round(flow, 6)
+
+
+def test_figure3_exact_agreement(benchmark):
+    """Figure 3: F-tree versus exact possible-world enumeration."""
+    report = benchmark.pedantic(ftree_example_report, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["exact_flow"] = round(report.exact_flow, 6)
+    benchmark.extra_info["ftree_flow"] = round(report.ftree_flow, 6)
+    assert report.agreement < 1e-9

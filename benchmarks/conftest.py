@@ -1,0 +1,15 @@
+"""Benchmark-suite fixtures."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+@pytest.fixture(scope="session")
+def graph_cache() -> Dict[Tuple, UncertainGraph]:
+    """Session-wide cache so sweep points reuse identical graphs across algorithms."""
+    return {}

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: maximise information flow towards a query vertex.
+
+Generates a small uncertain graph, runs the paper's main algorithm
+(FT+M: greedy edge selection on the F-tree with memoization) next to the
+two baselines (Dijkstra spanning tree, Naive whole-graph sampling), and
+prints the expected information flow and runtime of each.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import make_selector, partitioned_graph
+from repro.experiments.harness import evaluate_flow, pick_query_vertex
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    # 1. an uncertain graph with a locality structure (the paper's "partitioned"
+    #    scheme): 300 vertices, degree 6, edge probabilities uniform in (0, 1],
+    #    vertex weights uniform in [0, 10]
+    graph = partitioned_graph(300, degree=6, seed=42)
+    query = pick_query_vertex(graph)
+    budget = 20
+    print(f"graph: {graph.n_vertices} vertices / {graph.n_edges} edges, "
+          f"query vertex {query}, budget k={budget}\n")
+
+    # 2. run three algorithms on the same instance
+    rows = []
+    for name in ("Dijkstra", "Naive", "FT+M"):
+        n_samples = 100 if name == "Naive" else 300
+        selector = make_selector(name, n_samples=n_samples, seed=7)
+        result = selector.select(graph, query, budget)
+        # evaluate every result with the same independent estimator
+        flow = evaluate_flow(graph, result.selected_edges, query, n_samples=800, seed=1)
+        rows.append(
+            {
+                "algorithm": result.algorithm,
+                "edges used": result.n_selected,
+                "expected flow": flow,
+                "runtime [s]": result.elapsed_seconds,
+            }
+        )
+
+    # 3. report
+    print(format_table(rows, title="Expected information flow towards the query vertex"))
+    print(
+        "\nThe F-tree greedy selection reaches a clearly higher expected flow than the\n"
+        "Dijkstra spanning tree at the same edge budget, and is far faster than the\n"
+        "Naive whole-graph-sampling greedy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Road-network information propagation (paper Section 7.4, Figure 9a).
+
+Sensors placed at road intersections propagate measurements towards a
+collection point; the probability that two adjacent intersections can
+communicate decays exponentially with their physical distance
+(``exp(-0.001 · metres)``, the law the paper applies to the San Joaquin
+road network).  Road networks have very low vertex degree and a strong
+locality structure, which is where the F-tree heuristics shine and the
+Dijkstra spanning tree wastes its budget on long, fragile paths.
+
+Run with:  python examples/road_network.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import san_joaquin_surrogate
+from repro.experiments.harness import evaluate_flow, pick_query_vertex
+from repro.experiments.reporting import format_table
+from repro.selection import make_selector
+
+
+def main() -> None:
+    road_network = san_joaquin_surrogate(400, seed=13)
+    collection_point = pick_query_vertex(road_network)
+    print(
+        f"road network: {road_network.n_vertices} intersections, "
+        f"{road_network.n_edges} road segments\n"
+        f"collection point: intersection {collection_point}\n"
+    )
+
+    rows = []
+    for budget in (15, 30, 60):
+        for name in ("Dijkstra", "FT+M", "FT+M+CI", "FT+M+CI+DS"):
+            selector = make_selector(name, n_samples=150, seed=21)
+            result = selector.select(road_network, collection_point, budget)
+            flow = evaluate_flow(
+                road_network, result.selected_edges, collection_point, n_samples=500, seed=3
+            )
+            rows.append(
+                {
+                    "budget k": budget,
+                    "algorithm": result.algorithm,
+                    "expected flow": flow,
+                    "runtime [s]": result.elapsed_seconds,
+                }
+            )
+
+    print(format_table(rows, title="Information reaching the collection point"))
+    print(
+        "\nOn road networks the locality assumption holds strongly: the confidence-\n"
+        "interval and delayed-sampling heuristics cut the running time while the\n"
+        "collected information stays essentially unchanged (compare the FT+M rows)."
+    )
+
+
+if __name__ == "__main__":
+    main()

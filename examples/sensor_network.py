@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Wireless sensor network scenario (paper Section 7.3, Figure 8).
+
+A set of sensors is scattered uniformly over the unit square; two sensors
+can communicate when they are within radio range ``eps`` of each other,
+and every link succeeds only with some probability.  A sink node wants to
+collect as much sensed information as possible, but every activated link
+costs energy — so only ``k`` links may be switched on.
+
+The script compares the Dijkstra spanning tree (the classic WSN
+interconnection strategy) with the F-tree greedy selection at several
+budgets and shows how quickly the spanning tree falls behind once links
+can fail.
+
+Run with:  python examples/sensor_network.py
+"""
+
+from __future__ import annotations
+
+from repro import make_selector
+from repro.experiments.harness import evaluate_flow
+from repro.experiments.reporting import format_table
+from repro.graph.generators import wsn_graph_with_positions
+
+
+def main() -> None:
+    n_sensors = 400
+    eps = 0.07
+    graph, positions = wsn_graph_with_positions(n_sensors, eps=eps, seed=3)
+
+    # the sink is the sensor closest to the centre of the deployment area
+    sink = min(
+        positions,
+        key=lambda v: (positions[v][0] - 0.5) ** 2 + (positions[v][1] - 0.5) ** 2,
+    )
+    print(
+        f"wireless sensor network: {graph.n_vertices} sensors, {graph.n_edges} possible links\n"
+        f"radio range eps={eps}, sink node {sink} at {positions[sink]}\n"
+    )
+
+    rows = []
+    for budget in (10, 20, 40):
+        for name in ("Dijkstra", "FT+M", "FT+M+DS"):
+            selector = make_selector(name, n_samples=200, seed=11)
+            result = selector.select(graph, sink, budget)
+            flow = evaluate_flow(graph, result.selected_edges, sink, n_samples=600, seed=5)
+            rows.append(
+                {
+                    "budget k": budget,
+                    "algorithm": result.algorithm,
+                    "expected flow": flow,
+                    "runtime [s]": result.elapsed_seconds,
+                }
+            )
+
+    print(format_table(rows, title="Information collected at the sink per link budget"))
+    print(
+        "\nBecause sensor links fail independently, a pure spanning tree loses whole\n"
+        "subtrees whenever a single link fails; the F-tree selection spends part of the\n"
+        "budget on redundant links around the sink and collects noticeably more data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Social endorsement campaign (the paper's LinkedIn-style motivation).
+
+A professional network user Q wants to collect as many endorsements as
+possible.  The service provider may ask a limited number of connections
+— i.e. activate a limited number of edges — and an asked user endorses Q
+only with the probability attached to the edge (strong ties are likely
+to endorse, weak ties rarely do).  Users who endorsed Q can in turn
+convince their own contacts.
+
+The script builds a Facebook-circles-style surrogate network (dense, ten
+high-probability "close friends" per user), selects which connections to
+ask with several strategies and reports the expected number of
+endorsements.
+
+Run with:  python examples/social_endorsement.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import facebook_surrogate
+from repro.experiments.harness import evaluate_flow
+from repro.experiments.reporting import format_table
+from repro.selection import make_selector
+
+
+def main() -> None:
+    network = facebook_surrogate(250, seed=8)
+    # every vertex counts as one potential endorsement
+    for person in network.vertices():
+        network.set_weight(person, 1.0)
+    # the campaign target: the best-connected user
+    target = max(network.vertices(), key=network.degree)
+    print(
+        f"social network: {network.n_vertices} users, {network.n_edges} ties\n"
+        f"campaign target: user {target} with {network.degree(target)} direct ties\n"
+    )
+
+    budgets = (5, 15, 30)
+    rows = []
+    for budget in budgets:
+        for name in ("Random", "Dijkstra", "FT+M", "FT+M+CI+DS"):
+            selector = make_selector(name, n_samples=150, seed=4)
+            result = selector.select(network, target, budget)
+            endorsements = evaluate_flow(
+                network, result.selected_edges, target, n_samples=600, seed=2
+            )
+            rows.append(
+                {
+                    "asked ties": budget,
+                    "strategy": result.algorithm,
+                    "expected endorsements": endorsements,
+                    "runtime [s]": result.elapsed_seconds,
+                }
+            )
+
+    print(format_table(rows, title="Expected endorsements per campaign budget"))
+    print(
+        "\nIn a dense social network most of the budget should go to the strong ties\n"
+        "around the target plus a few redundant 'second chances' through mutual\n"
+        "friends — exactly the cyclic structures the F-tree evaluates with local\n"
+        "sampling while everything tree-shaped is computed analytically."
+    )
+
+
+if __name__ == "__main__":
+    main()

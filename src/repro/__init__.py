@@ -1,0 +1,95 @@
+"""repro — Information Flow Maximization in Probabilistic Graphs.
+
+A reproduction of Frey, Züfle, Emrich & Renz, *"Efficient Information
+Flow Maximization in Probabilistic Graphs"* (IEEE TKDE 30(5), 2018 /
+ICDE 2018 extended abstract).
+
+Quickstart
+----------
+>>> from repro import erdos_renyi_graph, make_selector
+>>> graph = erdos_renyi_graph(200, average_degree=4, seed=7)
+>>> selector = make_selector("FT+M", n_samples=200, seed=7)
+>>> result = selector.select(graph, query=0, budget=15)
+>>> result.n_selected
+15
+
+The package is organised as:
+
+* :mod:`repro.graph` — the uncertain graph model, possible worlds and
+  synthetic generators;
+* :mod:`repro.algorithms` — deterministic graph algorithms (BFS, Tarjan
+  biconnected components, Dijkstra, spanning trees);
+* :mod:`repro.reachability` — Monte-Carlo, exact and analytic estimators
+  of reachability probability and expected information flow;
+* :mod:`repro.ftree` — the F-tree decomposition (the paper's core
+  contribution);
+* :mod:`repro.selection` — the edge-selection algorithms compared in the
+  paper's evaluation;
+* :mod:`repro.datasets` — named datasets (synthetic surrogates of the
+  paper's real networks);
+* :mod:`repro.experiments` — the harness that regenerates every figure
+  of the evaluation section.
+"""
+
+from repro.types import Edge, VertexId
+from repro.graph import (
+    UncertainGraph,
+    PossibleWorld,
+    enumerate_worlds,
+    erdos_renyi_graph,
+    partitioned_graph,
+    wsn_graph,
+    grid_road_graph,
+    social_circle_graph,
+    collaboration_graph,
+    preferential_attachment_graph,
+)
+from repro.reachability import (
+    monte_carlo_expected_flow,
+    exact_expected_flow,
+    mono_connected_expected_flow,
+)
+from repro.ftree import FTree, ComponentSampler, MemoCache, build_ftree
+from repro.selection import (
+    DijkstraSelector,
+    NaiveGreedySelector,
+    FTreeGreedySelector,
+    RandomSelector,
+    exhaustive_optimal_selection,
+    make_selector,
+    ALGORITHM_NAMES,
+    SelectionResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Edge",
+    "VertexId",
+    "UncertainGraph",
+    "PossibleWorld",
+    "enumerate_worlds",
+    "erdos_renyi_graph",
+    "partitioned_graph",
+    "wsn_graph",
+    "grid_road_graph",
+    "social_circle_graph",
+    "collaboration_graph",
+    "preferential_attachment_graph",
+    "monte_carlo_expected_flow",
+    "exact_expected_flow",
+    "mono_connected_expected_flow",
+    "FTree",
+    "ComponentSampler",
+    "MemoCache",
+    "build_ftree",
+    "DijkstraSelector",
+    "NaiveGreedySelector",
+    "FTreeGreedySelector",
+    "RandomSelector",
+    "exhaustive_optimal_selection",
+    "make_selector",
+    "ALGORITHM_NAMES",
+    "SelectionResult",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""Disjoint-set (union-find) data structure with path compression and union by rank."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+
+class UnionFind:
+    """Classic disjoint-set forest.
+
+    Elements are arbitrary hashable objects and are added lazily on first
+    use, so the structure can track graph vertices directly.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._count = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton set (no-op if already present)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._count += 1
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # path compression
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing ``a`` and ``b``.
+
+        Returns True if a merge happened, False if they were already in
+        the same set.
+        """
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return True if ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def n_sets(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._count
+
+    def sets(self) -> List[Set[Hashable]]:
+        """Return all disjoint sets as a list of Python sets."""
+        groups: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), set()).add(element)
+        return list(groups.values())

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows::
+
+    repro-flow generate --dataset erdos --size 500 --out graph.json
+    repro-flow select   --graph graph.json --query 0 --budget 20 --algorithm FT+M
+    repro-flow evaluate --graph graph.json --query 0 --edges edges.txt
+    repro-flow experiment --figure 7b
+
+(``python -m repro.cli`` works identically when the console script is
+not installed.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES, FigureResult
+from repro.experiments.harness import evaluate_flow, pick_query_vertex
+from repro.experiments.reporting import format_table, rows_to_csv
+from repro.graph.io import read_json, write_json
+from repro.graph.validation import graph_stats
+from repro.selection.registry import ALGORITHM_NAMES, make_selector
+from repro.types import Edge
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description="Information flow maximization in probabilistic graphs (F-tree reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a named dataset and save it as JSON")
+    generate.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    generate.add_argument("--size", type=int, default=None, help="number of vertices")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", type=Path, required=True, help="output JSON path")
+
+    select = subparsers.add_parser("select", help="run an edge-selection algorithm on a graph")
+    select.add_argument("--graph", type=Path, required=True, help="graph JSON produced by 'generate'")
+    select.add_argument("--query", default=None, help="query vertex id (default: highest degree)")
+    select.add_argument("--budget", type=int, required=True)
+    select.add_argument("--algorithm", choices=ALGORITHM_NAMES, default="FT+M")
+    select.add_argument("--samples", type=int, default=500)
+    select.add_argument("--seed", type=int, default=0)
+    select.add_argument("--out", type=Path, default=None, help="write selected edges to this file")
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate the expected flow of a selected edge set")
+    evaluate.add_argument("--graph", type=Path, required=True)
+    evaluate.add_argument("--query", default=None)
+    evaluate.add_argument("--edges", type=Path, required=True, help="file with one 'u v' pair per line")
+    evaluate.add_argument("--samples", type=int, default=1000)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser("experiment", help="reproduce one of the paper's figures")
+    experiment.add_argument(
+        "--figure", choices=sorted(ALL_FIGURES) + ["all"], required=True,
+        help="figure id, or 'all' to regenerate every figure",
+    )
+    experiment.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    experiment.add_argument("--quick", action="store_true", help="use the tiny smoke-test configuration")
+    experiment.add_argument(
+        "--output-dir", type=Path, default=None,
+        help="write one CSV per figure (plus SUMMARY.md) into this directory",
+    )
+
+    return parser
+
+
+def _parse_vertex(raw: Optional[str], graph) -> object:
+    """Interpret a vertex id given on the command line (int when possible)."""
+    if raw is None:
+        return pick_query_vertex(graph)
+    if graph.has_vertex(raw):
+        return raw
+    try:
+        candidate = int(raw)
+    except ValueError:
+        candidate = raw
+    if not graph.has_vertex(candidate):
+        raise SystemExit(f"query vertex {raw!r} does not exist in the graph")
+    return candidate
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, n_vertices=args.size, seed=args.seed)
+    write_json(graph, args.out)
+    stats = graph_stats(graph)
+    print(f"wrote {args.out}: {stats.n_vertices} vertices, {stats.n_edges} edges")
+    return 0
+
+
+def _command_select(args: argparse.Namespace) -> int:
+    graph = read_json(args.graph)
+    query = _parse_vertex(args.query, graph)
+    selector = make_selector(args.algorithm, n_samples=args.samples, seed=args.seed)
+    result = selector.select(graph, query, args.budget)
+    print(f"algorithm      : {result.algorithm}")
+    print(f"query vertex   : {query}")
+    print(f"edges selected : {result.n_selected} / budget {args.budget}")
+    print(f"expected flow  : {result.expected_flow:.4f}")
+    print(f"runtime        : {result.elapsed_seconds:.3f}s")
+    if args.out is not None:
+        lines = [f"{edge.u} {edge.v}" for edge in result.selected_edges]
+        args.out.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"selected edges written to {args.out}")
+    return 0
+
+
+def _read_edge_file(path: Path, graph) -> List[Edge]:
+    edges: List[Edge] = []
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise SystemExit(f"{path}:{line_number}: malformed edge line {line!r}")
+        u, v = parts[0], parts[1]
+
+        def resolve(token: str) -> object:
+            if graph.has_vertex(token):
+                return token
+            try:
+                as_int = int(token)
+            except ValueError:
+                return token
+            return as_int if graph.has_vertex(as_int) else token
+
+        edges.append(Edge(resolve(u), resolve(v)))
+    return edges
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    graph = read_json(args.graph)
+    query = _parse_vertex(args.query, graph)
+    edges = _read_edge_file(args.edges, graph)
+    flow = evaluate_flow(graph, edges, query, n_samples=args.samples, seed=args.seed)
+    print(f"query vertex  : {query}")
+    print(f"edges         : {len(edges)}")
+    print(f"expected flow : {flow:.4f}")
+    return 0
+
+
+def _figure_rows(result) -> List[dict]:
+    if isinstance(result, FigureResult):
+        return result.rows
+    if isinstance(result, dict):
+        rows: List[dict] = []
+        for panel in result.values():
+            rows.extend(panel.rows)
+        return rows
+    raise SystemExit(f"unexpected figure result type {type(result)!r}")
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    config = ExperimentConfig.quick() if args.quick else None
+    if args.figure == "all" or args.output_dir is not None:
+        from repro.experiments.runner import run_all_figures, summary_table
+
+        figures = None if args.figure == "all" else [args.figure]
+        artifacts = run_all_figures(
+            output_dir=args.output_dir, figures=figures, config=config
+        )
+        print(summary_table(artifacts))
+        if args.output_dir is not None:
+            print(f"\nCSV files written to {args.output_dir}")
+        return 0
+    figure_fn = ALL_FIGURES[args.figure]
+    if config is not None and args.figure not in ("variance",):
+        result = figure_fn(config=config)
+    else:
+        result = figure_fn()
+    rows = _figure_rows(result)
+    if args.csv:
+        print(rows_to_csv(rows))
+    else:
+        print(format_table(rows, title=f"Figure {args.figure}"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "select": _command_select,
+        "evaluate": _command_evaluate,
+        "experiment": _command_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

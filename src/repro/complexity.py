@@ -1,0 +1,152 @@
+"""The NP-hardness reduction of Theorem 1 (0-1 knapsack → MaxFlow).
+
+The paper proves that selecting the optimal ``k`` edges is NP-hard even
+if expected flows were free to evaluate, by encoding a 0-1 knapsack
+instance as a MaxFlow instance: item ``i`` (weight ``w_i``, value
+``v_i``) becomes a chain of ``w_i`` certain edges hanging off the query
+vertex whose *last* vertex carries the item's value; with budget
+``k = W`` the optimal edge selection picks exactly the chains of an
+optimal knapsack packing.
+
+This module makes the reduction executable: it builds the gadget graph,
+maps edge selections back to item selections, and (for small instances)
+demonstrates that solving MaxFlow optimally solves the knapsack — which
+the test suite verifies against a dynamic-programming knapsack solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.types import Edge, VertexId
+
+#: The query vertex of every reduction graph.
+REDUCTION_QUERY = "Q"
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One 0-1 knapsack item."""
+
+    name: str
+    weight: int
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"item weight must be a positive integer, got {self.weight!r}")
+        if self.value < 0:
+            raise ValueError(f"item value must be non-negative, got {self.value!r}")
+
+
+@dataclass(frozen=True)
+class KnapsackInstance:
+    """A 0-1 knapsack instance: items plus a capacity."""
+
+    items: Tuple[KnapsackItem, ...]
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {self.capacity!r}")
+
+    @classmethod
+    def from_tuples(
+        cls, items: Iterable[Tuple[str, int, float]], capacity: int
+    ) -> "KnapsackInstance":
+        """Build an instance from ``(name, weight, value)`` tuples."""
+        return cls(tuple(KnapsackItem(name, weight, value) for name, weight, value in items), capacity)
+
+
+def knapsack_to_maxflow(instance: KnapsackInstance) -> Tuple[UncertainGraph, int]:
+    """Build the Theorem-1 gadget graph and edge budget for a knapsack instance.
+
+    Returns the uncertain graph (all edge probabilities are 1, so the
+    flow is deterministic) and the edge budget ``k = capacity``.  The
+    chain of item ``i`` consists of vertices ``item_i/1 … item_i/w_i``;
+    only the last vertex carries weight ``v_i``, every other vertex has
+    weight zero.
+    """
+    graph = UncertainGraph(name="knapsack-reduction")
+    graph.add_vertex(REDUCTION_QUERY, weight=0.0)
+    for item in instance.items:
+        previous: VertexId = REDUCTION_QUERY
+        for position in range(1, item.weight + 1):
+            vertex = f"{item.name}/{position}"
+            is_last = position == item.weight
+            graph.add_vertex(vertex, weight=item.value if is_last else 0.0)
+            graph.add_edge(previous, vertex, 1.0)
+            previous = vertex
+    return graph, instance.capacity
+
+
+def selection_to_items(
+    instance: KnapsackInstance, selected_edges: Iterable[Edge]
+) -> List[KnapsackItem]:
+    """Map a MaxFlow edge selection back to the knapsack items it packs.
+
+    An item counts as packed exactly when its *terminal* chain vertex is
+    connected to the query vertex through the selected edges (the
+    paper's decoding rule).
+    """
+    graph, _ = knapsack_to_maxflow(instance)
+    selected: Set[Edge] = set(selected_edges)
+    adjacency: Dict[VertexId, List[VertexId]] = {}
+    for edge in selected:
+        adjacency.setdefault(edge.u, []).append(edge.v)
+        adjacency.setdefault(edge.v, []).append(edge.u)
+    reachable = {REDUCTION_QUERY}
+    stack = [REDUCTION_QUERY]
+    while stack:
+        current = stack.pop()
+        for neighbor in adjacency.get(current, ()):
+            if neighbor not in reachable:
+                reachable.add(neighbor)
+                stack.append(neighbor)
+    packed = []
+    for item in instance.items:
+        terminal = f"{item.name}/{item.weight}"
+        if terminal in reachable:
+            packed.append(item)
+    return packed
+
+
+def solve_knapsack_via_maxflow(instance: KnapsackInstance) -> Tuple[List[KnapsackItem], float]:
+    """Solve a (small) knapsack instance through the MaxFlow reduction.
+
+    Uses the exhaustive optimal edge selection, so the instance must stay
+    tiny (total weight ≲ 15); the test suite checks the result against
+    the dynamic-programming solution below.
+    """
+    from repro.selection.exact_optimal import exhaustive_optimal_selection
+
+    graph, budget = knapsack_to_maxflow(instance)
+    result = exhaustive_optimal_selection(graph, REDUCTION_QUERY, budget)
+    packed = selection_to_items(instance, result.selected_edges)
+    return packed, sum(item.value for item in packed)
+
+
+def solve_knapsack_dynamic_programming(instance: KnapsackInstance) -> Tuple[List[KnapsackItem], float]:
+    """Classic O(n · W) dynamic program, used as the reference solver."""
+    capacity = instance.capacity
+    items = instance.items
+    best_value = [[0.0] * (capacity + 1) for _ in range(len(items) + 1)]
+    for index, item in enumerate(items, start=1):
+        for remaining in range(capacity + 1):
+            best_value[index][remaining] = best_value[index - 1][remaining]
+            if item.weight <= remaining:
+                candidate = best_value[index - 1][remaining - item.weight] + item.value
+                if candidate > best_value[index][remaining]:
+                    best_value[index][remaining] = candidate
+    # backtrack
+    packed: List[KnapsackItem] = []
+    remaining = capacity
+    for index in range(len(items), 0, -1):
+        if best_value[index][remaining] != best_value[index - 1][remaining]:
+            item = items[index - 1]
+            packed.append(item)
+            remaining -= item.weight
+    packed.reverse()
+    return packed, best_value[len(items)][capacity]

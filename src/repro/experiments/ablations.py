@@ -1,0 +1,194 @@
+"""Ablation studies beyond the paper's evaluation.
+
+Three studies that probe the design choices documented in DESIGN.md:
+
+* :func:`exact_threshold_ablation` — our extension of evaluating small
+  bi-connected components exactly instead of sampling them: how does the
+  threshold trade runtime against estimation error?
+* :func:`probability_misestimation_robustness` — edge probabilities are
+  rarely known exactly in practice; how much flow do the selectors lose
+  when they optimise against perturbed probabilities but are judged on
+  the true ones?
+* :func:`lazy_versus_eager_greedy` — the CELF-style lazy greedy
+  (library extension) versus the paper's eager greedy with delayed
+  sampling: probes per iteration and resulting flow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FigureResult
+from repro.experiments.harness import evaluate_flow, pick_query_vertex
+from repro.graph.generators import erdos_renyi_graph, partitioned_graph
+from repro.graph.transforms import perturb_probabilities
+from repro.rng import derive_seed
+from repro.selection.dijkstra_tree import DijkstraSelector
+from repro.selection.ftree_greedy import FTreeGreedySelector
+from repro.selection.lazy_greedy import LazyGreedySelector
+
+
+def exact_threshold_ablation(
+    thresholds: Sequence[int] = (0, 4, 8, 12),
+    config: Optional[ExperimentConfig] = None,
+) -> FigureResult:
+    """Sweep the exact-evaluation threshold of the component sampler.
+
+    Threshold 0 reproduces the paper exactly (every cyclic component is
+    sampled); larger thresholds evaluate more components by exhaustive
+    enumeration, removing sampling error at a (bounded) exponential cost.
+    """
+    config = config or ExperimentConfig()
+    graph = erdos_renyi_graph(
+        config.n_vertices, average_degree=config.degree, seed=config.seed
+    )
+    query = pick_query_vertex(graph)
+    rows: List[dict] = []
+    for index, threshold in enumerate(thresholds):
+        selector = FTreeGreedySelector(
+            n_samples=config.n_samples,
+            exact_threshold=threshold,
+            memoize=True,
+            seed=derive_seed(config.seed, index),
+        )
+        result = selector.select(graph, query, config.budget)
+        evaluated = evaluate_flow(
+            graph,
+            result.selected_edges,
+            query,
+            n_samples=max(500, config.n_samples),
+            seed=derive_seed(config.seed, 300 + index),
+        )
+        rows.append(
+            {
+                "exact_threshold": threshold,
+                "algorithm": "FT+M",
+                "evaluated_flow": evaluated,
+                "elapsed_seconds": result.elapsed_seconds,
+                "sampled_components": result.extras.get("sampled_components", 0.0),
+                "exact_components": result.extras.get("exact_components", 0.0),
+            }
+        )
+    return FigureResult(
+        figure="ablation-exact-threshold",
+        description="Exact evaluation threshold for small bi-connected components",
+        x_name="exact_threshold",
+        rows=rows,
+    )
+
+
+def probability_misestimation_robustness(
+    noise_levels: Sequence[float] = (0.0, 0.1, 0.25, 0.5),
+    config: Optional[ExperimentConfig] = None,
+) -> FigureResult:
+    """Select edges against perturbed probabilities, evaluate on the true ones.
+
+    Models the realistic situation where link reliabilities are only
+    estimates.  For each noise level the selector sees a graph whose edge
+    probabilities are multiplied by a uniform factor in ``[1-noise,
+    1+noise]``; the selected edges are then evaluated against the true
+    probabilities.
+    """
+    config = config or ExperimentConfig()
+    graph = partitioned_graph(config.n_vertices, degree=config.degree, seed=config.seed)
+    query = pick_query_vertex(graph)
+    rows: List[dict] = []
+    for index, noise in enumerate(noise_levels):
+        noisy = (
+            graph
+            if noise == 0.0
+            else perturb_probabilities(graph, noise=noise, seed=derive_seed(config.seed, index))
+        )
+        for name, selector in (
+            ("FT+M", FTreeGreedySelector(
+                n_samples=config.n_samples,
+                exact_threshold=config.exact_threshold,
+                memoize=True,
+                seed=derive_seed(config.seed, 50 + index),
+            )),
+            ("Dijkstra", DijkstraSelector()),
+        ):
+            result = selector.select(noisy, query, config.budget)
+            true_flow = evaluate_flow(
+                graph,
+                result.selected_edges,
+                query,
+                n_samples=max(500, config.n_samples),
+                seed=derive_seed(config.seed, 700 + index),
+            )
+            rows.append(
+                {
+                    "noise": noise,
+                    "algorithm": name,
+                    "evaluated_flow": true_flow,
+                    "elapsed_seconds": result.elapsed_seconds,
+                }
+            )
+    return FigureResult(
+        figure="ablation-probability-noise",
+        description="Robustness of the selection to misestimated edge probabilities",
+        x_name="noise",
+        rows=rows,
+    )
+
+
+def lazy_versus_eager_greedy(
+    budgets: Sequence[int] = (5, 10, 20),
+    config: Optional[ExperimentConfig] = None,
+) -> FigureResult:
+    """Compare the eager FT greedy (with and without delayed sampling) to lazy greedy."""
+    config = config or ExperimentConfig()
+    graph = partitioned_graph(config.n_vertices, degree=config.degree, seed=config.seed)
+    query = pick_query_vertex(graph)
+    rows: List[dict] = []
+    for index, budget in enumerate(budgets):
+        selectors = (
+            ("FT+M", FTreeGreedySelector(
+                n_samples=config.n_samples,
+                exact_threshold=config.exact_threshold,
+                memoize=True,
+                seed=derive_seed(config.seed, index),
+            )),
+            ("FT+M+DS", FTreeGreedySelector(
+                n_samples=config.n_samples,
+                exact_threshold=config.exact_threshold,
+                memoize=True,
+                delayed=True,
+                seed=derive_seed(config.seed, index),
+            )),
+            ("FT+Lazy", LazyGreedySelector(
+                n_samples=config.n_samples,
+                exact_threshold=config.exact_threshold,
+                memoize=True,
+                seed=derive_seed(config.seed, index),
+            )),
+        )
+        for name, selector in selectors:
+            result = selector.select(graph, query, budget)
+            evaluated = evaluate_flow(
+                graph,
+                result.selected_edges,
+                query,
+                n_samples=max(500, config.n_samples),
+                seed=derive_seed(config.seed, 900 + index),
+            )
+            probes = result.extras.get(
+                "flow_evaluations",
+                float(sum(iteration.candidates_probed for iteration in result.iterations)),
+            )
+            rows.append(
+                {
+                    "budget_k": budget,
+                    "algorithm": name,
+                    "evaluated_flow": evaluated,
+                    "elapsed_seconds": result.elapsed_seconds,
+                    "flow_evaluations": probes,
+                }
+            )
+    return FigureResult(
+        figure="ablation-lazy-greedy",
+        description="Lazy (CELF) versus eager greedy probing",
+        x_name="budget_k",
+        rows=rows,
+    )

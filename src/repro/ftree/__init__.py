@@ -1,0 +1,47 @@
+"""The F-tree (Flow tree): the paper's core data structure.
+
+The F-tree (Section 5.3, Definition 9) decomposes the subgraph induced by
+the currently selected edges into
+
+* **mono-connected components** — tree-shaped pieces whose flow towards
+  their articulation vertex is computed analytically (Theorem 2), and
+* **bi-connected components** — cyclic pieces whose flow towards their
+  articulation vertex is estimated by local Monte-Carlo sampling (or
+  exact enumeration when the component is small).
+
+Components form a tree rooted (conceptually) at the query vertex ``Q``:
+each component forwards all information it collects through its
+articulation vertex into the component that owns that vertex, until the
+information reaches ``Q``.
+
+Two construction paths are provided: :class:`FTree.insert_edge`
+implements the incremental insertion cases of Section 5.4, and
+:func:`~repro.ftree.builder.build_ftree` rebuilds the decomposition from
+scratch using biconnected components — both must agree, which the test
+suite verifies.
+"""
+
+from repro.ftree.components import (
+    Component,
+    MonoConnectedComponent,
+    BiConnectedComponent,
+)
+from repro.ftree.memo import MemoCache
+from repro.ftree.sampler import ComponentSampler
+from repro.ftree.ftree import FTree, InsertionResult
+from repro.ftree.builder import build_ftree
+from repro.ftree.export import ftree_to_dot, ftree_summary, graph_to_dot
+
+__all__ = [
+    "Component",
+    "MonoConnectedComponent",
+    "BiConnectedComponent",
+    "MemoCache",
+    "ComponentSampler",
+    "FTree",
+    "InsertionResult",
+    "build_ftree",
+    "ftree_to_dot",
+    "ftree_summary",
+    "graph_to_dot",
+]

@@ -1,0 +1,334 @@
+"""F-tree components.
+
+A *component* is a set of owned vertices plus one articulation vertex
+through which all information collected by the component flows towards
+the query vertex (paper Definition 9).  The articulation vertex is *not*
+owned by the component — it is owned by the parent component (or it is
+the query vertex itself).
+
+* :class:`MonoConnectedComponent` stores a tree: every owned vertex has a
+  unique parent towards the articulation vertex, so reachability towards
+  the articulation vertex is an exact product of edge probabilities
+  (Lemma 2).
+* :class:`BiConnectedComponent` stores an arbitrary (cyclic) edge set;
+  reachability towards the articulation vertex is estimated by the
+  component sampler and cached until the component changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.exceptions import FTreeInvariantError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.types import Edge, VertexId
+
+
+class Component:
+    """Base class for F-tree components.
+
+    Attributes
+    ----------
+    component_id:
+        Identifier assigned by the owning :class:`~repro.ftree.ftree.FTree`.
+    articulation:
+        The vertex all information of this component flows through.
+        Owned by the parent component (or equal to the query vertex).
+    vertices:
+        The vertices owned by this component (never contains the
+        articulation vertex).
+    """
+
+    __slots__ = ("component_id", "articulation", "vertices")
+
+    def __init__(self, component_id: int, articulation: VertexId) -> None:
+        self.component_id = component_id
+        self.articulation = articulation
+        self.vertices: Set[VertexId] = set()
+
+    # -- interface -----------------------------------------------------
+    @property
+    def is_mono(self) -> bool:
+        """True for mono-connected (tree-like) components."""
+        raise NotImplementedError
+
+    def edges(self) -> Set[Edge]:
+        """Return the edges of the subgraph spanned by this component."""
+        raise NotImplementedError
+
+    def local_reachability(self, graph: UncertainGraph, sampler) -> Dict[VertexId, float]:
+        """Return ``P(v ↔ articulation)`` within the component for every owned vertex."""
+        raise NotImplementedError
+
+    def clone(self, component_id: Optional[int] = None) -> "Component":
+        """Return a deep copy (optionally with a new id)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "MC" if self.is_mono else "BC"
+        return (
+            f"<{kind}#{self.component_id} AV={self.articulation!r} "
+            f"V={sorted(map(repr, self.vertices))}>"
+        )
+
+
+class MonoConnectedComponent(Component):
+    """A tree-shaped component with analytic flow computation.
+
+    The tree is stored as a ``parent_of`` map: every owned vertex points
+    to its unique neighbour on the path towards the articulation vertex.
+    The component's edge set is exactly ``{(v, parent_of[v])}``.
+    """
+
+    __slots__ = ("parent_of",)
+
+    def __init__(self, component_id: int, articulation: VertexId) -> None:
+        super().__init__(component_id, articulation)
+        #: owned vertex -> its parent towards the articulation vertex
+        self.parent_of: Dict[VertexId, VertexId] = {}
+
+    @property
+    def is_mono(self) -> bool:
+        return True
+
+    # -- structure -----------------------------------------------------
+    def add_vertex(self, vertex: VertexId, parent: VertexId) -> None:
+        """Attach a new owned vertex below ``parent``.
+
+        ``parent`` must be an owned vertex or the articulation vertex.
+        """
+        if vertex in self.vertices:
+            raise FTreeInvariantError(
+                f"vertex {vertex!r} is already owned by component {self.component_id}"
+            )
+        if parent != self.articulation and parent not in self.vertices:
+            raise FTreeInvariantError(
+                f"parent {parent!r} is neither owned by component "
+                f"{self.component_id} nor its articulation vertex"
+            )
+        self.vertices.add(vertex)
+        self.parent_of[vertex] = parent
+
+    def remove_vertices(self, vertices: Iterable[VertexId]) -> None:
+        """Remove owned vertices (their parent links disappear with them)."""
+        for vertex in vertices:
+            self.vertices.discard(vertex)
+            self.parent_of.pop(vertex, None)
+
+    def edges(self) -> Set[Edge]:
+        return {Edge(vertex, parent) for vertex, parent in self.parent_of.items()}
+
+    def path_to_articulation(self, vertex: VertexId) -> List[VertexId]:
+        """Return the unique path ``[vertex, ..., articulation]`` within the component."""
+        if vertex == self.articulation:
+            return [vertex]
+        if vertex not in self.vertices:
+            raise FTreeInvariantError(
+                f"vertex {vertex!r} is not owned by component {self.component_id}"
+            )
+        path = [vertex]
+        seen = {vertex}
+        current = vertex
+        while current != self.articulation:
+            current = self.parent_of[current]
+            if current in seen:
+                raise FTreeInvariantError(
+                    f"cycle detected in mono-connected component {self.component_id}"
+                )
+            seen.add(current)
+            path.append(current)
+        return path
+
+    def subtree_vertices(self, root: VertexId) -> Set[VertexId]:
+        """Return all owned vertices whose path to the articulation passes through ``root``.
+
+        ``root`` itself is included when it is an owned vertex.
+        """
+        below: Set[VertexId] = set()
+        for vertex in self.vertices:
+            current = vertex
+            while True:
+                if current == root:
+                    below.add(vertex)
+                    break
+                if current == self.articulation:
+                    break
+                current = self.parent_of[current]
+        return below
+
+    # -- flow ----------------------------------------------------------
+    def local_reachability(self, graph: UncertainGraph, sampler=None) -> Dict[VertexId, float]:
+        """Exact reachability of every owned vertex towards the articulation vertex.
+
+        Computed bottom-up along the parent links as the product of edge
+        probabilities (Lemma 2); the optional ``sampler`` argument is
+        ignored (mono components never sample).
+        """
+        reach: Dict[VertexId, float] = {}
+        for vertex in self.vertices:
+            self._reach_of(vertex, graph, reach)
+        return reach
+
+    def _reach_of(
+        self, vertex: VertexId, graph: UncertainGraph, reach: Dict[VertexId, float]
+    ) -> float:
+        # iterative walk up the parent chain, filling the memo on the way back
+        chain: List[VertexId] = []
+        current = vertex
+        while current != self.articulation and current not in reach:
+            chain.append(current)
+            current = self.parent_of[current]
+        probability = 1.0 if current == self.articulation else reach[current]
+        for element in reversed(chain):
+            probability = probability * graph.probability(element, self.parent_of[element])
+            reach[element] = probability
+        return reach.get(vertex, probability)
+
+    def clone(self, component_id: Optional[int] = None) -> "MonoConnectedComponent":
+        clone = MonoConnectedComponent(
+            self.component_id if component_id is None else component_id,
+            self.articulation,
+        )
+        clone.vertices = set(self.vertices)
+        clone.parent_of = dict(self.parent_of)
+        return clone
+
+    def check_invariants(self) -> None:
+        """Raise :class:`FTreeInvariantError` if the component is malformed."""
+        if self.articulation in self.vertices:
+            raise FTreeInvariantError(
+                f"articulation vertex {self.articulation!r} must not be owned "
+                f"(component {self.component_id})"
+            )
+        if set(self.parent_of) != self.vertices:
+            raise FTreeInvariantError(
+                f"parent map of component {self.component_id} does not cover its vertices"
+            )
+        for vertex in self.vertices:
+            # must terminate at the articulation without revisiting vertices
+            self.path_to_articulation(vertex)
+
+
+class BiConnectedComponent(Component):
+    """A cyclic component whose flow is estimated by local sampling.
+
+    The reachability function ``BC.P(v)`` of the paper is cached in
+    :attr:`reach` and invalidated whenever the component's edge or vertex
+    set changes; the owning F-tree re-estimates it lazily through its
+    :class:`~repro.ftree.sampler.ComponentSampler`.
+    """
+
+    __slots__ = ("_edges", "reach", "reach_samples", "reach_exact")
+
+    def __init__(self, component_id: int, articulation: VertexId) -> None:
+        super().__init__(component_id, articulation)
+        self._edges: Set[Edge] = set()
+        #: cached reachability towards the articulation vertex, or None when stale
+        self.reach: Optional[Dict[VertexId, float]] = None
+        #: number of samples behind the cache (None when exact or stale)
+        self.reach_samples: Optional[int] = None
+        #: True when the cached values come from exact enumeration
+        self.reach_exact: bool = False
+
+    @property
+    def is_mono(self) -> bool:
+        return False
+
+    # -- structure -----------------------------------------------------
+    def add_edge(self, edge: Edge) -> None:
+        """Add an edge to the component and invalidate the cached reachability."""
+        for endpoint in edge:
+            if endpoint != self.articulation and endpoint not in self.vertices:
+                self.vertices.add(endpoint)
+        self._edges.add(edge)
+        self.invalidate()
+
+    def absorb(self, vertices: Iterable[VertexId], edges: Iterable[Edge]) -> None:
+        """Absorb vertices and edges of another component (Case IVb / splitTree moves)."""
+        for vertex in vertices:
+            if vertex != self.articulation:
+                self.vertices.add(vertex)
+        self._edges.update(edges)
+        self.invalidate()
+
+    def edges(self) -> Set[Edge]:
+        return set(self._edges)
+
+    def invalidate(self) -> None:
+        """Mark the cached reachability as stale (forces re-estimation)."""
+        self.reach = None
+        self.reach_samples = None
+        self.reach_exact = False
+
+    def set_reach(
+        self,
+        reach: Dict[VertexId, float],
+        n_samples: Optional[int],
+        exact: bool,
+    ) -> None:
+        """Install an estimated reachability function (called by the F-tree)."""
+        self.reach = dict(reach)
+        self.reach_samples = n_samples
+        self.reach_exact = exact
+
+    @property
+    def needs_estimation(self) -> bool:
+        """True when the cached reachability is stale or missing."""
+        return self.reach is None
+
+    # -- flow ----------------------------------------------------------
+    def local_reachability(self, graph: UncertainGraph, sampler) -> Dict[VertexId, float]:
+        """Reachability of every owned vertex towards the articulation vertex.
+
+        Uses the cached values when fresh; otherwise asks ``sampler`` to
+        (re-)estimate them and caches the result.
+        """
+        if self.needs_estimation:
+            if sampler is None:
+                raise FTreeInvariantError(
+                    f"bi-connected component {self.component_id} needs sampling "
+                    "but no sampler was provided"
+                )
+            estimate = sampler.reachability(
+                graph, self.articulation, self.vertices, self._edges
+            )
+            self.set_reach(estimate.probabilities, estimate.n_samples, estimate.exact)
+        assert self.reach is not None
+        return dict(self.reach)
+
+    def clone(self, component_id: Optional[int] = None) -> "BiConnectedComponent":
+        clone = BiConnectedComponent(
+            self.component_id if component_id is None else component_id,
+            self.articulation,
+        )
+        clone.vertices = set(self.vertices)
+        clone._edges = set(self._edges)
+        clone.reach = None if self.reach is None else dict(self.reach)
+        clone.reach_samples = self.reach_samples
+        clone.reach_exact = self.reach_exact
+        return clone
+
+    def check_invariants(self) -> None:
+        """Raise :class:`FTreeInvariantError` if the component is malformed."""
+        if self.articulation in self.vertices:
+            raise FTreeInvariantError(
+                f"articulation vertex {self.articulation!r} must not be owned "
+                f"(component {self.component_id})"
+            )
+        spanned: Set[VertexId] = set()
+        for edge in self._edges:
+            spanned.add(edge.u)
+            spanned.add(edge.v)
+        if spanned - self.vertices - {self.articulation}:
+            raise FTreeInvariantError(
+                f"component {self.component_id} has edges touching foreign vertices"
+            )
+        if self.vertices - spanned:
+            raise FTreeInvariantError(
+                f"component {self.component_id} owns vertices not covered by its edges"
+            )
+        if self.reach is not None and set(self.reach) != self.vertices:
+            raise FTreeInvariantError(
+                f"cached reachability of component {self.component_id} "
+                "does not match its vertex set"
+            )

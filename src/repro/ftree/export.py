@@ -1,0 +1,105 @@
+"""Export utilities for F-trees and uncertain graphs.
+
+Produces Graphviz DOT text (no graphviz dependency required — the output
+is plain text that ``dot -Tpng`` can render) and a compact JSON-able
+summary of an F-tree's component structure.  Useful for debugging the
+incremental insertion cases and for documenting experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ftree.components import BiConnectedComponent, MonoConnectedComponent
+from repro.ftree.ftree import FTree
+from repro.graph.uncertain_graph import UncertainGraph
+
+#: colour palette cycled over components in the DOT output
+_COMPONENT_COLOURS = (
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6",
+    "#ffff99", "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00",
+)
+
+
+def graph_to_dot(graph: UncertainGraph, name: str = "uncertain_graph") -> str:
+    """Render an uncertain graph as Graphviz DOT text.
+
+    Edge labels carry the existence probability, vertex labels the
+    information weight.
+    """
+    lines = [f"graph {_dot_identifier(name)} {{", "  node [shape=circle];"]
+    for vertex in graph.vertices():
+        label = f"{vertex}\\nw={graph.weight(vertex):g}"
+        lines.append(f"  {_dot_identifier(str(vertex))} [label=\"{label}\"];")
+    for edge in graph.edges():
+        lines.append(
+            f"  {_dot_identifier(str(edge.u))} -- {_dot_identifier(str(edge.v))} "
+            f"[label=\"{graph.probability(edge):.2f}\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ftree_to_dot(ftree: FTree, name: str = "ftree") -> str:
+    """Render an F-tree as DOT text: one cluster per component, coloured by kind.
+
+    The query vertex is drawn as a double circle; every component's
+    articulation vertex is connected to the cluster with a dashed edge so
+    the information-flow direction is visible.
+    """
+    lines = [f"graph {_dot_identifier(name)} {{", "  compound=true;", "  node [shape=circle];"]
+    lines.append(
+        f"  {_dot_identifier(str(ftree.query))} [shape=doublecircle, label=\"{ftree.query}\"];"
+    )
+    for index, component in enumerate(sorted(ftree.components(), key=lambda c: c.component_id)):
+        colour = _COMPONENT_COLOURS[index % len(_COMPONENT_COLOURS)]
+        kind = "mono" if component.is_mono else "bi"
+        lines.append(f"  subgraph cluster_{component.component_id} {{")
+        lines.append(f"    label=\"{kind} #{component.component_id} (AV {component.articulation})\";")
+        lines.append(f"    style=filled; fillcolor=\"{colour}\";")
+        for vertex in sorted(component.vertices, key=str):
+            lines.append(f"    {_dot_identifier(str(vertex))};")
+        lines.append("  }")
+        for edge in sorted(component.edges(), key=repr):
+            probability = ftree.graph.probability(edge)
+            lines.append(
+                f"  {_dot_identifier(str(edge.u))} -- {_dot_identifier(str(edge.v))} "
+                f"[label=\"{probability:.2f}\"];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ftree_summary(ftree: FTree) -> Dict[str, object]:
+    """Return a JSON-able summary of the F-tree structure.
+
+    Includes per-component kind, articulation vertex, owned vertices and
+    (for bi components) whether the cached reachability is fresh — the
+    information needed to understand what an edge insertion changed.
+    """
+    components: List[Dict[str, object]] = []
+    for component in sorted(ftree.components(), key=lambda c: c.component_id):
+        entry: Dict[str, object] = {
+            "id": component.component_id,
+            "kind": "mono" if component.is_mono else "bi",
+            "articulation": component.articulation,
+            "vertices": sorted(component.vertices, key=str),
+            "n_edges": len(component.edges()),
+        }
+        if isinstance(component, BiConnectedComponent):
+            entry["estimated"] = not component.needs_estimation
+            entry["exact"] = component.reach_exact
+        components.append(entry)
+    return {
+        "query": ftree.query,
+        "n_selected_edges": ftree.n_selected,
+        "n_components": len(components),
+        "n_bi_components": sum(1 for entry in components if entry["kind"] == "bi"),
+        "components": components,
+    }
+
+
+def _dot_identifier(token: str) -> str:
+    """Quote a token so it is always a valid DOT identifier."""
+    escaped = token.replace("\"", "\\\"")
+    return f"\"{escaped}\""

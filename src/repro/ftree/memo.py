@@ -1,0 +1,98 @@
+"""Memoization cache for bi-connected component reachability functions.
+
+The component-memoization heuristic (paper Section 6.2) avoids
+re-sampling a bi-connected component whose content did not change since
+it was last estimated.  The cache key is the component's *content* — its
+edge set and articulation vertex — rather than the probing candidate
+edge, which subsumes the paper's per-candidate memoization and stays
+valid when the same component re-appears while probing a different
+candidate edge.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.types import Edge, VertexId
+
+#: Cache key: (frozenset of component edges, articulation vertex).
+MemoKey = Tuple[FrozenSet[Edge], VertexId]
+
+
+@dataclass(frozen=True)
+class MemoEntry:
+    """A cached reachability estimate for one component content."""
+
+    probabilities: Dict[VertexId, float]
+    n_samples: Optional[int]
+    exact: bool
+
+
+class MemoCache:
+    """Bounded LRU cache of component reachability estimates.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached components; the least recently used
+        entry is evicted beyond that.  ``None`` disables eviction.
+    """
+
+    def __init__(self, max_entries: Optional[int] = 10_000) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(f"max_entries must be positive or None, got {max_entries!r}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[MemoKey, MemoEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def make_key(edges: Iterable[Edge], articulation: VertexId) -> MemoKey:
+        """Build the cache key for a component content."""
+        return frozenset(edges), articulation
+
+    def get(self, key: MemoKey) -> Optional[MemoEntry]:
+        """Return the cached entry for ``key`` (and count a hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: MemoKey, entry: MemoEntry) -> None:
+        """Store ``entry`` under ``key``, evicting the LRU entry if needed."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: MemoKey) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when no lookups)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Return hit/miss statistics for reporting."""
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+        }

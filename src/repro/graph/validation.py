@@ -1,0 +1,103 @@
+"""Graph validation and summary statistics.
+
+:func:`validate_graph` verifies the structural invariants the rest of the
+library relies on (symmetric adjacency, valid probabilities and weights,
+consistency between the adjacency map and the edge-probability map), and
+:func:`graph_stats` computes the descriptive statistics reported by the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import GraphError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.types import Edge
+
+
+def validate_graph(graph: UncertainGraph) -> None:
+    """Check internal consistency of ``graph``.
+
+    Raises
+    ------
+    GraphError
+        With a message describing the first violated invariant.
+    """
+    adjacency = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    for vertex, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            if neighbor not in adjacency:
+                raise GraphError(
+                    f"adjacency of {vertex!r} references unknown vertex {neighbor!r}"
+                )
+            if vertex not in adjacency[neighbor]:
+                raise GraphError(
+                    f"adjacency is not symmetric for ({vertex!r}, {neighbor!r})"
+                )
+            if not graph.has_edge(vertex, neighbor):
+                raise GraphError(
+                    f"adjacency lists ({vertex!r}, {neighbor!r}) but no edge is stored"
+                )
+    for edge in graph.edges():
+        if edge.v not in adjacency.get(edge.u, ()) or edge.u not in adjacency.get(edge.v, ()):
+            raise GraphError(f"edge {edge!r} missing from adjacency map")
+        probability = graph.probability(edge)
+        if not (0.0 < probability <= 1.0) or math.isnan(probability):
+            raise GraphError(f"edge {edge!r} has invalid probability {probability!r}")
+    for vertex in graph.vertices():
+        weight = graph.weight(vertex)
+        if weight < 0 or math.isnan(weight) or math.isinf(weight):
+            raise GraphError(f"vertex {vertex!r} has invalid weight {weight!r}")
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Descriptive statistics of an uncertain graph."""
+
+    n_vertices: int
+    n_edges: int
+    average_degree: float
+    min_degree: int
+    max_degree: int
+    average_probability: float
+    min_probability: float
+    max_probability: float
+    total_weight: float
+    n_certain_edges: int
+
+    def as_dict(self) -> dict:
+        """Return the statistics as a plain dictionary (for reporting/CSV)."""
+        return {
+            "n_vertices": self.n_vertices,
+            "n_edges": self.n_edges,
+            "average_degree": self.average_degree,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "average_probability": self.average_probability,
+            "min_probability": self.min_probability,
+            "max_probability": self.max_probability,
+            "total_weight": self.total_weight,
+            "n_certain_edges": self.n_certain_edges,
+        }
+
+
+def graph_stats(graph: UncertainGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    degrees: List[int] = [graph.degree(v) for v in graph.vertices()]
+    probabilities: List[float] = [graph.probability(e) for e in graph.edges()]
+    edges: List[Edge] = graph.edge_list()
+    return GraphStats(
+        n_vertices=graph.n_vertices,
+        n_edges=graph.n_edges,
+        average_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        min_degree=min(degrees) if degrees else 0,
+        max_degree=max(degrees) if degrees else 0,
+        average_probability=(sum(probabilities) / len(probabilities)) if probabilities else 0.0,
+        min_probability=min(probabilities) if probabilities else 0.0,
+        max_probability=max(probabilities) if probabilities else 0.0,
+        total_weight=graph.total_weight(),
+        n_certain_edges=sum(1 for e in edges if graph.probability(e) >= 1.0),
+    )

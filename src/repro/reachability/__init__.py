@@ -1,0 +1,73 @@
+"""Reachability-probability and expected-information-flow estimation.
+
+Computing the probability that two vertices of an uncertain graph are
+connected is #P-hard (paper Section 5), so this subpackage offers a
+spectrum of estimators:
+
+* :mod:`repro.reachability.monte_carlo` — unbiased whole-graph sampling
+  (Lemma 1), the building block of the Naive baseline;
+* :mod:`repro.reachability.exact` — exhaustive possible-world
+  enumeration, exact but exponential, used as ground truth for small
+  graphs and small bi-connected components;
+* :mod:`repro.reachability.analytic` — closed-form reachability for
+  mono-connected (tree-like) graphs (Lemma 2 / Theorem 2);
+* :mod:`repro.reachability.confidence` — confidence intervals for
+  sampled reachability probabilities (Definition 10);
+* :mod:`repro.reachability.bounds` — cheap lower/upper bounds from the
+  related-work discussion.
+"""
+
+from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
+from repro.reachability.monte_carlo import (
+    MonteCarloFlowEstimator,
+    monte_carlo_expected_flow,
+    monte_carlo_reachability,
+)
+from repro.reachability.exact import (
+    exact_expected_flow,
+    exact_reachability,
+    exact_reachability_all,
+)
+from repro.reachability.analytic import (
+    is_mono_connected,
+    mono_connected_reachability,
+    mono_connected_expected_flow,
+)
+from repro.reachability.confidence import (
+    ConfidenceInterval,
+    normal_confidence_interval,
+    wilson_confidence_interval,
+    flow_confidence_interval,
+)
+from repro.reachability.bounds import (
+    most_probable_path_lower_bound,
+    cut_upper_bound,
+    reachability_bounds,
+)
+from repro.reachability.factoring import (
+    two_terminal_reliability,
+    FactoringBudgetExceeded,
+)
+
+__all__ = [
+    "FlowEstimate",
+    "ReachabilityEstimate",
+    "MonteCarloFlowEstimator",
+    "monte_carlo_expected_flow",
+    "monte_carlo_reachability",
+    "exact_expected_flow",
+    "exact_reachability",
+    "exact_reachability_all",
+    "is_mono_connected",
+    "mono_connected_reachability",
+    "mono_connected_expected_flow",
+    "ConfidenceInterval",
+    "normal_confidence_interval",
+    "wilson_confidence_interval",
+    "flow_confidence_interval",
+    "most_probable_path_lower_bound",
+    "cut_upper_bound",
+    "reachability_bounds",
+    "two_terminal_reliability",
+    "FactoringBudgetExceeded",
+]

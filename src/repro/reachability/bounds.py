@@ -1,0 +1,88 @@
+"""Cheap reachability bounds (related-work baselines).
+
+The paper's related-work section discusses reliability bounds as a
+possible alternative to sampling and dismisses them as either too weak or
+too expensive.  We implement the two simplest ones so that the claim can
+be inspected empirically:
+
+* the **most-probable-path lower bound**: the probability of the single
+  most probable path between two vertices lower-bounds their
+  reachability probability;
+* the **minimum-cut upper bound**: for any vertex cut separating the two
+  vertices, the probability that at least one edge across the cut exists
+  upper-bounds the reachability probability.  We use the trivial cut
+  around the target vertex, which is exactly the "all incident edges
+  fail" complement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Tuple
+
+from repro.algorithms.shortest_path import most_probable_path
+from repro.exceptions import VertexNotFoundError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.types import Edge, VertexId
+
+
+def most_probable_path_lower_bound(
+    graph: UncertainGraph,
+    source: VertexId,
+    target: VertexId,
+    edges: Optional[Iterable[Edge]] = None,
+) -> float:
+    """Lower bound on ``P(source ↔ target)``: the most probable path's probability."""
+    if source == target:
+        return 1.0
+    _, probability = most_probable_path(graph, source, target, edges=edges)
+    return probability
+
+
+def cut_upper_bound(
+    graph: UncertainGraph,
+    source: VertexId,
+    target: VertexId,
+    edges: Optional[Iterable[Edge]] = None,
+) -> float:
+    """Upper bound on ``P(source ↔ target)`` from the target's incident-edge cut.
+
+    The target can only be reached if at least one of its incident edges
+    exists, so ``1 - prod(1 - p(e))`` over those edges is an upper bound.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    if not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    if source == target:
+        return 1.0
+    allowed = None if edges is None else set(edges)
+    log_all_fail = 0.0
+    any_edge = False
+    for edge in graph.incident_edges(target):
+        if allowed is not None and edge not in allowed:
+            continue
+        any_edge = True
+        p = graph.probability(edge)
+        if p >= 1.0:
+            return 1.0
+        log_all_fail += math.log1p(-p)
+    if not any_edge:
+        return 0.0
+    return 1.0 - math.exp(log_all_fail)
+
+
+def reachability_bounds(
+    graph: UncertainGraph,
+    source: VertexId,
+    target: VertexId,
+    edges: Optional[Iterable[Edge]] = None,
+) -> Tuple[float, float]:
+    """Return ``(lower, upper)`` bounds on the reachability probability."""
+    lower = most_probable_path_lower_bound(graph, source, target, edges=edges)
+    upper = cut_upper_bound(graph, source, target, edges=edges)
+    # The bounds are independent constructions; numerically the lower
+    # bound can exceed the upper one only through floating point noise.
+    if lower > upper:
+        lower, upper = min(lower, upper), max(lower, upper)
+    return lower, upper

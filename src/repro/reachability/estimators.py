@@ -1,0 +1,72 @@
+"""Common result value objects shared by all flow / reachability estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.types import VertexId
+
+
+@dataclass(frozen=True)
+class ReachabilityEstimate:
+    """Estimate of ``P(Q ↔ v)`` for a single vertex pair.
+
+    Attributes
+    ----------
+    probability:
+        Point estimate of the reachability probability.
+    n_samples:
+        Number of Monte-Carlo samples behind the estimate, or ``None``
+        for exact / analytic values.
+    successes:
+        Number of samples in which the pair was connected (``None`` for
+        exact values).
+    """
+
+    probability: float
+    n_samples: Optional[int] = None
+    successes: Optional[int] = None
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the estimate came from an exact or analytic computation."""
+        return self.n_samples is None
+
+
+@dataclass(frozen=True)
+class FlowEstimate:
+    """Estimate of the expected information flow ``E[flow(Q, G)]``.
+
+    Attributes
+    ----------
+    expected_flow:
+        Point estimate of the expected flow.
+    reachability:
+        Per-vertex reachability probabilities that the flow aggregates
+        (may be empty for estimators that only track the total).
+    n_samples:
+        Sample count (``None`` for exact / analytic estimates).
+    variance:
+        Sample variance of the per-world flow, when available.
+    include_query:
+        Whether the query vertex's own weight is included in the total.
+    """
+
+    expected_flow: float
+    reachability: Dict[VertexId, float] = field(default_factory=dict)
+    n_samples: Optional[int] = None
+    variance: Optional[float] = None
+    include_query: bool = False
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the estimate came from an exact or analytic computation."""
+        return self.n_samples is None
+
+    @property
+    def standard_error(self) -> Optional[float]:
+        """Standard error of the flow estimate, when a sample variance is known."""
+        if self.variance is None or not self.n_samples:
+            return None
+        return (self.variance / self.n_samples) ** 0.5

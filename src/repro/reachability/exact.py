@@ -1,0 +1,95 @@
+"""Exact reachability and expected flow by possible-world enumeration.
+
+Exponential in the number of uncertain edges, so only usable on small
+graphs or small bi-connected components; the test suite and the exact
+component evaluator of the F-tree rely on it as ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.possible_world import DEFAULT_ENUMERATION_LIMIT, enumerate_worlds
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
+from repro.types import Edge, VertexId
+
+
+def _restrict(graph: UncertainGraph, edges: Optional[Iterable[Edge]]) -> UncertainGraph:
+    if edges is None:
+        return graph
+    return graph.edge_subgraph(edges, keep_all_vertices=True)
+
+
+def exact_reachability_all(
+    graph: UncertainGraph,
+    source: VertexId,
+    edges: Optional[Iterable[Edge]] = None,
+    limit: int = DEFAULT_ENUMERATION_LIMIT,
+) -> Dict[VertexId, float]:
+    """Return the exact reachability probability from ``source`` to every vertex.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    source:
+        Source vertex (probability 1.0 to itself).
+    edges:
+        Optional restriction to a subset of edges.
+    limit:
+        Maximum number of uncertain edges tolerated before raising
+        :class:`~repro.exceptions.ExactEnumerationError`.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    restricted = _restrict(graph, edges)
+    probabilities: Dict[VertexId, float] = {vertex: 0.0 for vertex in restricted.vertices()}
+    for world, world_probability in enumerate_worlds(restricted, limit=limit):
+        for vertex in world.reachable_from(source):
+            probabilities[vertex] += world_probability
+    # guard against floating point drift beyond [0, 1]
+    return {vertex: min(1.0, max(0.0, p)) for vertex, p in probabilities.items()}
+
+
+def exact_reachability(
+    graph: UncertainGraph,
+    source: VertexId,
+    target: VertexId,
+    edges: Optional[Iterable[Edge]] = None,
+    limit: int = DEFAULT_ENUMERATION_LIMIT,
+) -> ReachabilityEstimate:
+    """Exact two-terminal reachability probability ``P(source ↔ target)`` (Definition 2)."""
+    if not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    probabilities = exact_reachability_all(graph, source, edges=edges, limit=limit)
+    return ReachabilityEstimate(probability=probabilities[target])
+
+
+def exact_expected_flow(
+    graph: UncertainGraph,
+    query: VertexId,
+    edges: Optional[Iterable[Edge]] = None,
+    include_query: bool = False,
+    limit: int = DEFAULT_ENUMERATION_LIMIT,
+) -> FlowEstimate:
+    """Exact expected information flow ``E[flow(Q, G)]`` (Definition 3 / Equation 2)."""
+    probabilities = exact_reachability_all(graph, query, edges=edges, limit=limit)
+    total = 0.0
+    for vertex, probability in probabilities.items():
+        if vertex == query and not include_query:
+            continue
+        total += probability * graph.weight(vertex)
+    reachability = {
+        vertex: probability
+        for vertex, probability in probabilities.items()
+        if vertex != query or include_query
+    }
+    return FlowEstimate(
+        expected_flow=total,
+        reachability=reachability,
+        n_samples=None,
+        variance=None,
+        include_query=include_query,
+    )

@@ -1,0 +1,204 @@
+"""Exact two-terminal reliability by the factoring (edge contraction/deletion) method.
+
+The classic alternative to brute-force world enumeration (Colbourn, *The
+Combinatorics of Network Reliability*, cited as [5] by the paper): pick
+an edge ``e`` and condition on its state,
+
+``R(G) = p(e) · R(G / e)  +  (1 - p(e)) · R(G - e)``
+
+where ``G / e`` contracts the edge (it certainly exists) and ``G - e``
+deletes it.  Together with reductions that prune irrelevant edges and a
+memoization table keyed by the canonical remaining structure, this is
+exponential in the worst case but handles far larger graphs than the
+``2^|E|`` enumeration — and provides an independent oracle for the
+Monte-Carlo and F-tree estimators in the test suite.
+
+Only two-terminal reliability (``source`` ↔ ``target``) is provided;
+the expected-flow computation of the library aggregates per-vertex
+reliabilities through the F-tree instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.algorithms.union_find import UnionFind
+from repro.exceptions import VertexNotFoundError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.types import Edge, VertexId
+
+#: Soft limit on the number of factoring recursions; prevents accidental
+#: exponential blow-ups on dense graphs (raise it explicitly if needed).
+DEFAULT_RECURSION_BUDGET = 2_000_000
+
+
+class FactoringBudgetExceeded(RuntimeError):
+    """Raised when the factoring recursion exceeds its node budget."""
+
+
+def two_terminal_reliability(
+    graph: UncertainGraph,
+    source: VertexId,
+    target: VertexId,
+    edges: Optional[Iterable[Edge]] = None,
+    recursion_budget: int = DEFAULT_RECURSION_BUDGET,
+) -> float:
+    """Exact probability that ``source`` and ``target`` are connected.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    source, target:
+        The two terminals.
+    edges:
+        Optional restriction to a subset of edges.
+    recursion_budget:
+        Maximum number of factoring steps before
+        :class:`FactoringBudgetExceeded` is raised.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    if not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    if source == target:
+        return 1.0
+    edge_list = list(graph.edges()) if edges is None else list(edges)
+    probabilities = {edge: graph.probability(edge) for edge in edge_list}
+    state = _State(probabilities)
+    solver = _FactoringSolver(recursion_budget)
+    return solver.solve(state, source, target)
+
+
+class _State:
+    """A partially contracted graph: edge probabilities over merged super-vertices."""
+
+    __slots__ = ("edges",)
+
+    def __init__(self, edges: Dict[Edge, float]) -> None:
+        # parallel edges produced by contraction are merged on the fly:
+        # two parallel edges with probabilities p and q behave like one
+        # edge with probability 1 - (1-p)(1-q)
+        self.edges: Dict[Edge, float] = {}
+        for edge, probability in edges.items():
+            self._add(edge, probability)
+
+    def _add(self, edge: Edge, probability: float) -> None:
+        existing = self.edges.get(edge)
+        if existing is None:
+            self.edges[edge] = probability
+        else:
+            self.edges[edge] = 1.0 - (1.0 - existing) * (1.0 - probability)
+
+    def key(self, source: VertexId, target: VertexId) -> Tuple:
+        """Canonical memoization key for this state and terminal pair."""
+        return (
+            frozenset((edge, round(probability, 12)) for edge, probability in self.edges.items()),
+            source,
+            target,
+        )
+
+    def without(self, edge: Edge) -> "_State":
+        """Return the state with ``edge`` deleted."""
+        remaining = dict(self.edges)
+        remaining.pop(edge, None)
+        clone = _State.__new__(_State)
+        clone.edges = remaining
+        return clone
+
+    def contracted(self, edge: Edge, into: VertexId) -> "_State":
+        """Return the state with ``edge`` contracted: both endpoints become ``into``."""
+        other = edge.u if edge.v == into else edge.v
+        merged: Dict[Edge, float] = {}
+        clone = _State.__new__(_State)
+        clone.edges = merged
+        for existing, probability in self.edges.items():
+            if existing == edge:
+                continue
+            endpoints = [into if vertex == other else vertex for vertex in existing]
+            if endpoints[0] == endpoints[1]:
+                continue  # self loop after contraction: irrelevant for reliability
+            clone._add(Edge(endpoints[0], endpoints[1]), probability)
+        return clone
+
+
+class _FactoringSolver:
+    """Recursive contraction/deletion with memoization and relevance pruning."""
+
+    def __init__(self, recursion_budget: int) -> None:
+        self.recursion_budget = recursion_budget
+        self.steps = 0
+        self._memo: Dict[Tuple, float] = {}
+
+    def solve(self, state: _State, source: VertexId, target: VertexId) -> float:
+        self.steps += 1
+        if self.steps > self.recursion_budget:
+            raise FactoringBudgetExceeded(
+                f"factoring exceeded {self.recursion_budget} recursion steps"
+            )
+        if source == target:
+            return 1.0
+        relevant = self._relevant_edges(state, source, target)
+        if relevant is None:
+            return 0.0  # terminals are in different components
+        if not relevant:
+            return 0.0
+        key = (frozenset((e, round(p, 12)) for e, p in relevant.items()), source, target)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+
+        pruned = _State.__new__(_State)
+        pruned.edges = dict(relevant)
+        # choose a factoring edge incident to the source: contraction then
+        # shrinks the terminal pair quickly
+        pivot = self._pick_pivot(pruned, source)
+        probability = pruned.edges[pivot]
+        if pivot.is_incident_to(source) and pivot.is_incident_to(target):
+            # contracting the pivot merges the two terminals
+            reliability_if_present = 1.0
+        else:
+            # keep the terminal's name when the pivot touches one, so the
+            # terminal pair survives the contraction unchanged
+            if pivot.is_incident_to(source):
+                keep_vertex = source
+            elif pivot.is_incident_to(target):
+                keep_vertex = target
+            else:
+                keep_vertex = pivot.u
+            contracted = pruned.contracted(pivot, into=keep_vertex)
+            reliability_if_present = self.solve(contracted, source, target)
+        reliability_if_absent = self.solve(pruned.without(pivot), source, target)
+        result = probability * reliability_if_present + (1.0 - probability) * reliability_if_absent
+        self._memo[key] = result
+        return result
+
+    @staticmethod
+    def _pick_pivot(state: _State, source: VertexId) -> Edge:
+        for edge in state.edges:
+            if edge.is_incident_to(source):
+                return edge
+        return next(iter(state.edges))
+
+    @staticmethod
+    def _relevant_edges(
+        state: _State, source: VertexId, target: VertexId
+    ) -> Optional[Dict[Edge, float]]:
+        """Keep only edges in the connected component containing both terminals.
+
+        Returns ``None`` when the terminals are disconnected even with
+        every edge present (reliability is zero).
+        """
+        union = UnionFind()
+        union.add(source)
+        union.add(target)
+        for edge in state.edges:
+            union.union(edge.u, edge.v)
+        if not union.connected(source, target):
+            return None
+        component_root = union.find(source)
+        return {
+            edge: probability
+            for edge, probability in state.edges.items()
+            if union.find(edge.u) == component_root
+        }

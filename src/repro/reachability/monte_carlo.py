@@ -1,0 +1,241 @@
+"""Whole-graph Monte-Carlo estimation of reachability and expected flow.
+
+Implements the unbiased estimator of Lemma 1: drawing possible worlds by
+flipping every edge independently and averaging the per-world information
+flow ``flow(Q, g)``.  The Naive baseline of the evaluation applies this
+estimator to the entire candidate subgraph in every greedy iteration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import SampleSizeError, VertexNotFoundError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
+from repro.rng import SeedLike, ensure_rng
+from repro.types import Edge, VertexId
+
+
+def _restricted_edges(
+    graph: UncertainGraph, edges: Optional[Iterable[Edge]]
+) -> List[Tuple[Edge, float]]:
+    if edges is None:
+        return list(graph.probabilities().items())
+    return [(edge, graph.probability(edge)) for edge in edges]
+
+
+def _reachable(
+    adjacency: Dict[VertexId, List[VertexId]], source: VertexId
+) -> Set[VertexId]:
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in adjacency.get(current, ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return seen
+
+
+class MonteCarloFlowEstimator:
+    """Reusable Monte-Carlo estimator bound to one graph and one query vertex.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph (or candidate subgraph) to sample.
+    query:
+        The query vertex ``Q``.
+    n_samples:
+        Number of possible worlds to draw per estimate (paper default 1000).
+    seed:
+        Seed or generator used for world sampling.
+    include_query:
+        Whether the query vertex's own weight counts towards the flow.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        query: VertexId,
+        n_samples: int = 1000,
+        seed: SeedLike = None,
+        include_query: bool = False,
+    ) -> None:
+        if not graph.has_vertex(query):
+            raise VertexNotFoundError(query)
+        if n_samples <= 0:
+            raise SampleSizeError(n_samples)
+        self.graph = graph
+        self.query = query
+        self.n_samples = int(n_samples)
+        self.include_query = include_query
+        self._rng = ensure_rng(seed)
+
+    def estimate(self, edges: Optional[Iterable[Edge]] = None) -> FlowEstimate:
+        """Estimate the expected flow of the subgraph restricted to ``edges``."""
+        return monte_carlo_expected_flow(
+            self.graph,
+            self.query,
+            n_samples=self.n_samples,
+            seed=self._rng,
+            edges=edges,
+            include_query=self.include_query,
+        )
+
+
+def monte_carlo_expected_flow(
+    graph: UncertainGraph,
+    query: VertexId,
+    n_samples: int = 1000,
+    seed: SeedLike = None,
+    edges: Optional[Iterable[Edge]] = None,
+    include_query: bool = False,
+) -> FlowEstimate:
+    """Monte-Carlo estimate of ``E[flow(Q, G)]`` (Lemma 1).
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    query:
+        Query vertex ``Q``.
+    n_samples:
+        Number of sampled possible worlds.
+    seed:
+        Random seed or generator.
+    edges:
+        Optional restriction of the graph to a subset of edges (the
+        candidate subgraph of the selection algorithms); vertices are
+        unchanged.
+    include_query:
+        Whether ``W(Q)`` counts towards the flow.
+
+    Returns
+    -------
+    FlowEstimate
+        Point estimate together with per-vertex reachability frequencies
+        and the sample variance of the per-world flow.
+    """
+    if not graph.has_vertex(query):
+        raise VertexNotFoundError(query)
+    if n_samples <= 0:
+        raise SampleSizeError(n_samples)
+    rng = ensure_rng(seed)
+    edge_probabilities = _restricted_edges(graph, edges)
+    weights = graph.weights()
+
+    hit_counts: Dict[VertexId, int] = {}
+    flow_samples = np.empty(n_samples, dtype=float)
+    n_edges = len(edge_probabilities)
+    probabilities = np.array([p for _, p in edge_probabilities], dtype=float)
+
+    for sample_index in range(n_samples):
+        if n_edges:
+            survives = rng.random(n_edges) < probabilities
+        else:
+            survives = ()
+        adjacency: Dict[VertexId, List[VertexId]] = {}
+        for (edge, _), alive in zip(edge_probabilities, survives):
+            if alive:
+                adjacency.setdefault(edge.u, []).append(edge.v)
+                adjacency.setdefault(edge.v, []).append(edge.u)
+        reached = _reachable(adjacency, query)
+        flow = 0.0
+        for vertex in reached:
+            if vertex == query and not include_query:
+                continue
+            hit_counts[vertex] = hit_counts.get(vertex, 0) + 1
+            flow += weights.get(vertex, 0.0)
+        flow_samples[sample_index] = flow
+
+    reachability = {vertex: count / n_samples for vertex, count in hit_counts.items()}
+    variance = float(flow_samples.var(ddof=1)) if n_samples > 1 else 0.0
+    return FlowEstimate(
+        expected_flow=float(flow_samples.mean()),
+        reachability=reachability,
+        n_samples=n_samples,
+        variance=variance,
+        include_query=include_query,
+    )
+
+
+def monte_carlo_reachability(
+    graph: UncertainGraph,
+    source: VertexId,
+    target: VertexId,
+    n_samples: int = 1000,
+    seed: SeedLike = None,
+    edges: Optional[Iterable[Edge]] = None,
+) -> ReachabilityEstimate:
+    """Monte-Carlo estimate of the two-terminal reachability ``P(source ↔ target)``."""
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    if not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    if n_samples <= 0:
+        raise SampleSizeError(n_samples)
+    if source == target:
+        return ReachabilityEstimate(probability=1.0, n_samples=n_samples, successes=n_samples)
+    rng = ensure_rng(seed)
+    edge_probabilities = _restricted_edges(graph, edges)
+    probabilities = np.array([p for _, p in edge_probabilities], dtype=float)
+    successes = 0
+    for _ in range(n_samples):
+        if len(edge_probabilities):
+            survives = rng.random(len(edge_probabilities)) < probabilities
+        else:
+            survives = ()
+        adjacency: Dict[VertexId, List[VertexId]] = {}
+        for (edge, _), alive in zip(edge_probabilities, survives):
+            if alive:
+                adjacency.setdefault(edge.u, []).append(edge.v)
+                adjacency.setdefault(edge.v, []).append(edge.u)
+        if target in _reachable(adjacency, source):
+            successes += 1
+    return ReachabilityEstimate(
+        probability=successes / n_samples, n_samples=n_samples, successes=successes
+    )
+
+
+def monte_carlo_component_reachability(
+    graph: UncertainGraph,
+    anchor: VertexId,
+    vertices: Iterable[VertexId],
+    edges: Iterable[Edge],
+    n_samples: int = 1000,
+    seed: SeedLike = None,
+) -> Dict[VertexId, float]:
+    """Estimate ``P(v ↔ anchor)`` for every ``v`` within a small edge-induced component.
+
+    Used by the F-tree to sample a single bi-connected component: only the
+    component's edges are flipped, and reachability is evaluated towards
+    the component's articulation vertex.
+    """
+    if n_samples <= 0:
+        raise SampleSizeError(n_samples)
+    rng = ensure_rng(seed)
+    edge_list = [(edge, graph.probability(edge)) for edge in edges]
+    probabilities = np.array([p for _, p in edge_list], dtype=float)
+    targets = [v for v in vertices if v != anchor]
+    counts = {vertex: 0 for vertex in targets}
+    for _ in range(n_samples):
+        if edge_list:
+            survives = rng.random(len(edge_list)) < probabilities
+        else:
+            survives = ()
+        adjacency: Dict[VertexId, List[VertexId]] = {}
+        for (edge, _), alive in zip(edge_list, survives):
+            if alive:
+                adjacency.setdefault(edge.u, []).append(edge.v)
+                adjacency.setdefault(edge.v, []).append(edge.u)
+        reached = _reachable(adjacency, anchor)
+        for vertex in targets:
+            if vertex in reached:
+                counts[vertex] += 1
+    return {vertex: counts[vertex] / n_samples for vertex in targets}

@@ -1,0 +1,67 @@
+"""Randomness helpers.
+
+Every stochastic routine in the library takes a ``seed`` argument that may
+be ``None`` (non-deterministic), an integer, or an existing
+:class:`numpy.random.Generator`.  :func:`ensure_rng` normalises all three
+cases, and :func:`spawn_rngs` derives independent child generators for
+parallel or repeated use without accidentally correlating streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+#: Accepted forms of a random source.
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS-entropy seeding, an ``int`` for a reproducible
+        stream, or an existing generator which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so that the children
+    do not overlap even when ``seed`` identifies a single stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def iter_rngs(seed: SeedLike) -> Iterator[np.random.Generator]:
+    """Yield an endless stream of independent generators derived from ``seed``."""
+    root = ensure_rng(seed)
+    while True:
+        yield np.random.default_rng(int(root.integers(0, 2**63 - 1)))
+
+
+def derive_seed(seed: SeedLike, salt: int) -> Optional[int]:
+    """Derive a reproducible integer seed from ``seed`` and an integer salt.
+
+    Returns ``None`` when ``seed`` is ``None`` so that non-deterministic
+    behaviour propagates.  Used by experiment configurations to give each
+    repetition and each algorithm its own deterministic stream.
+    """
+    if seed is None:
+        return None
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**31 - 1))
+    return int((int(seed) * 1_000_003 + salt * 7_919) % (2**63 - 1))

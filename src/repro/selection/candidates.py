@@ -1,0 +1,89 @@
+"""Candidate-edge management for the greedy selectors.
+
+The greedy algorithm of Section 6.1 maintains, at every iteration, the
+set of edges that touch the component currently connected to ``Q`` but
+have not been selected yet.  :class:`CandidateManager` maintains that
+frontier incrementally as edges are selected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Set
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.types import Edge, VertexId
+
+
+class CandidateManager:
+    """Incrementally maintained frontier of selectable edges.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph the selection operates on.
+    query:
+        The query vertex; initially only its incident edges are candidates.
+    """
+
+    def __init__(self, graph: UncertainGraph, query: VertexId) -> None:
+        if not graph.has_vertex(query):
+            raise VertexNotFoundError(query)
+        self.graph = graph
+        self.query = query
+        self._connected: Set[VertexId] = {query}
+        self._selected: Set[Edge] = set()
+        self._candidates: Set[Edge] = set(graph.incident_edges(query))
+
+    # ------------------------------------------------------------------
+    @property
+    def connected_vertices(self) -> Set[VertexId]:
+        """Vertices currently connected to the query vertex."""
+        return set(self._connected)
+
+    @property
+    def selected_edges(self) -> Set[Edge]:
+        """Edges selected so far."""
+        return set(self._selected)
+
+    def candidates(self) -> List[Edge]:
+        """Return the current candidate edges (deterministic order)."""
+        return sorted(self._candidates, key=lambda edge: (repr(edge.u), repr(edge.v)))
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self.candidates())
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._candidates
+
+    # ------------------------------------------------------------------
+    def mark_selected(self, edge: Edge) -> Set[VertexId]:
+        """Record that ``edge`` was selected and update the frontier.
+
+        Returns the set of vertices that became newly connected (empty if
+        both endpoints were already connected).
+        """
+        if edge not in self._candidates:
+            raise ValueError(f"{edge!r} is not a current candidate")
+        self._candidates.discard(edge)
+        self._selected.add(edge)
+        newly_connected: Set[VertexId] = set()
+        for vertex in edge:
+            if vertex not in self._connected:
+                newly_connected.add(vertex)
+                self._connected.add(vertex)
+        for vertex in newly_connected:
+            for incident in self.graph.incident_edges(vertex):
+                if incident not in self._selected:
+                    self._candidates.add(incident)
+        # an edge whose both endpoints just became connected may have been
+        # selected already; prune any candidate that is now selected
+        self._candidates -= self._selected
+        return newly_connected
+
+    def has_candidates(self) -> bool:
+        """Return True if at least one edge can still be selected."""
+        return bool(self._candidates)

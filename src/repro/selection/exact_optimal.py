@@ -1,0 +1,79 @@
+"""Exhaustive optimal edge selection for tiny instances.
+
+``MaxFlow(G, Q, k)`` is NP-hard (Theorem 1), but for graphs with a
+handful of edges the optimum can be found by enumerating edge subsets and
+evaluating each with exact possible-world enumeration.  The test suite
+and the running-example reproduction use it to quantify how close the
+greedy heuristics get to the optimum.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Tuple
+
+from repro.exceptions import BudgetError, ExactEnumerationError, VertexNotFoundError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.reachability.exact import exact_expected_flow
+from repro.selection.base import SelectionResult, Stopwatch
+from repro.types import Edge, VertexId
+
+#: refuse to enumerate subsets when the number of candidate edges exceeds this
+MAX_EDGES_FOR_EXHAUSTIVE = 18
+
+
+def exhaustive_optimal_selection(
+    graph: UncertainGraph,
+    query: VertexId,
+    budget: int,
+    include_query: bool = False,
+    max_edges: int = MAX_EDGES_FOR_EXHAUSTIVE,
+) -> SelectionResult:
+    """Return the optimal ``k``-edge subset by brute force.
+
+    Because the expected flow is monotone in the edge set, only subsets
+    of size ``min(budget, |E|)`` need to be enumerated.
+
+    Raises
+    ------
+    ExactEnumerationError
+        If the graph has more than ``max_edges`` edges.
+    """
+    if not graph.has_vertex(query):
+        raise VertexNotFoundError(query)
+    if not isinstance(budget, int) or isinstance(budget, bool) or budget < 0:
+        raise BudgetError(budget)
+    edges = graph.edge_list()
+    if len(edges) > max_edges:
+        raise ExactEnumerationError(len(edges), max_edges)
+    stopwatch = Stopwatch()
+    subset_size = min(budget, len(edges))
+    best_edges: Tuple[Edge, ...] = ()
+    best_flow = 0.0
+    if subset_size > 0:
+        for subset in itertools.combinations(edges, subset_size):
+            estimate = exact_expected_flow(
+                graph, query, edges=subset, include_query=include_query
+            )
+            if estimate.expected_flow > best_flow + 1e-15:
+                best_flow = estimate.expected_flow
+                best_edges = subset
+    if include_query and subset_size == 0:
+        best_flow = graph.weight(query)
+    return SelectionResult(
+        algorithm="Optimal",
+        query=query,
+        budget=budget,
+        selected_edges=list(best_edges),
+        expected_flow=best_flow,
+        elapsed_seconds=stopwatch.elapsed(),
+        extras={"subsets_evaluated": float(_n_subsets(len(edges), subset_size))},
+    )
+
+
+def _n_subsets(n_edges: int, subset_size: int) -> int:
+    """Number of subsets enumerated by :func:`exhaustive_optimal_selection`."""
+    result = 1
+    for i in range(subset_size):
+        result = result * (n_edges - i) // (i + 1)
+    return result

@@ -1,0 +1,272 @@
+"""Greedy edge selection on top of the F-tree (FT, FT+M, FT+M+CI, FT+M+DS).
+
+The selector probes every candidate edge by cloning the current F-tree,
+inserting the edge and evaluating the resulting expected flow; the edge
+with the highest flow is committed (Section 6.1).  Three optional
+heuristics reduce the per-iteration work:
+
+* **Memoization (M, Section 6.2)** — bi-connected component estimates
+  are cached by component content, so probing the same cycle twice costs
+  nothing.
+* **Confidence-interval pruning (CI, Section 6.3)** — every candidate is
+  first screened with a small sample size; if its optimistic upper bound
+  cannot beat the best candidate's pessimistic lower bound the full
+  estimation is skipped.
+* **Delayed sampling (DS, Section 6.4)** — a candidate that was expensive
+  to sample and yielded little gain is suspended for
+  ``floor(log_c(cost / potential))`` iterations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.ftree.ftree import FTree
+from repro.ftree.memo import MemoCache
+from repro.ftree.sampler import ComponentSampler
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.rng import SeedLike, derive_seed, ensure_rng
+from repro.selection.base import EdgeSelector, SelectionIteration, SelectionResult, Stopwatch
+from repro.selection.candidates import CandidateManager
+from repro.types import Edge, VertexId
+
+#: Minimum sample count before the CLT-based screening interval is trusted.
+_SCREENING_SAMPLES = 30
+
+
+class FTreeGreedySelector(EdgeSelector):
+    """Greedy MaxFlow selection backed by the F-tree decomposition.
+
+    Parameters
+    ----------
+    n_samples:
+        Monte-Carlo samples per bi-connected component (paper: 1000).
+    exact_threshold:
+        Components with at most this many uncertain edges are evaluated
+        exactly instead of sampled.
+    memoize:
+        Enable the component-memoization heuristic (FT+M).
+    confidence:
+        Enable confidence-interval pruning (FT+M+CI).
+    delayed:
+        Enable delayed sampling (FT+M+DS).
+    delay_base:
+        The penalisation parameter ``c`` of the delayed-sampling
+        heuristic (paper default 2.0; must be > 1).
+    alpha:
+        Significance level of the pruning intervals (paper: 0.01).
+    seed:
+        Random seed or generator.
+    include_query:
+        Whether the query vertex's own weight counts towards the flow.
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 1000,
+        exact_threshold: int = 10,
+        memoize: bool = False,
+        confidence: bool = False,
+        delayed: bool = False,
+        delay_base: float = 2.0,
+        alpha: float = 0.01,
+        seed: SeedLike = None,
+        include_query: bool = False,
+    ) -> None:
+        if delay_base <= 1.0:
+            raise ValueError(f"delay_base must be greater than 1, got {delay_base!r}")
+        self.n_samples = n_samples
+        self.exact_threshold = exact_threshold
+        self.memoize = memoize
+        self.confidence = confidence
+        self.delayed = delayed
+        self.delay_base = delay_base
+        self.alpha = alpha
+        self.include_query = include_query
+        self._seed = seed
+        self.name = self._build_name()
+
+    def _build_name(self) -> str:
+        name = "FT"
+        if self.memoize:
+            name += "+M"
+        if self.confidence:
+            name += "+CI"
+        if self.delayed:
+            name += "+DS"
+        return name
+
+    # ------------------------------------------------------------------
+    def select(self, graph: UncertainGraph, query: VertexId, budget: int) -> SelectionResult:
+        self._validate(graph, query, budget)
+        stopwatch = Stopwatch()
+        rng = ensure_rng(self._seed)
+        memo = MemoCache() if self.memoize else None
+        sampler = ComponentSampler(
+            n_samples=self.n_samples,
+            exact_threshold=self.exact_threshold,
+            seed=rng,
+            memo=memo,
+        )
+        screening_sampler = ComponentSampler(
+            n_samples=_SCREENING_SAMPLES,
+            exact_threshold=self.exact_threshold,
+            seed=derive_seed(self._seed, 1) if self._seed is not None else None,
+            memo=None,
+        )
+        ftree = FTree(graph, query, sampler=sampler)
+        candidates = CandidateManager(graph, query)
+        delays: Dict[Edge, int] = {}
+        selected: List[Edge] = []
+        iterations: List[SelectionIteration] = []
+        current_flow = 0.0
+        total_pruned = 0
+        total_delayed = 0
+
+        for index in range(budget):
+            if not candidates.has_candidates():
+                break
+            iteration_watch = Stopwatch()
+            outcome = self._probe_candidates(
+                ftree, candidates, delays, screening_sampler
+            )
+            if outcome is None and delays:
+                # every candidate was suspended: clear the delays and retry
+                delays.clear()
+                outcome = self._probe_candidates(
+                    ftree, candidates, delays, screening_sampler
+                )
+            if outcome is None:
+                break
+            best_edge, best_flow, probe_info, probed, pruned, skipped = outcome
+            total_pruned += pruned
+            total_delayed += skipped
+
+            if self.delayed:
+                self._update_delays(delays, probe_info, best_edge, best_flow)
+
+            candidates.mark_selected(best_edge)
+            ftree.insert_edge(best_edge.u, best_edge.v)
+            selected.append(best_edge)
+            gain = best_flow - current_flow
+            current_flow = best_flow
+            iterations.append(
+                SelectionIteration(
+                    index=index,
+                    edge=best_edge,
+                    gain=gain,
+                    flow_after=current_flow,
+                    candidates_probed=probed,
+                    candidates_pruned=pruned,
+                    candidates_delayed=skipped,
+                    elapsed_seconds=iteration_watch.elapsed(),
+                )
+            )
+
+        final_flow = ftree.expected_flow(include_query=self.include_query)
+        extras: Dict[str, float] = {
+            "sampled_components": float(sampler.sampled_components),
+            "exact_components": float(sampler.exact_components),
+            "sampled_edges": float(sampler.sampled_edges),
+            "pruned_candidates": float(total_pruned),
+            "delayed_candidates": float(total_delayed),
+        }
+        if memo is not None:
+            extras["memo_hits"] = float(memo.hits)
+            extras["memo_hit_rate"] = memo.hit_rate
+        return SelectionResult(
+            algorithm=self.name,
+            query=query,
+            budget=budget,
+            selected_edges=selected,
+            expected_flow=final_flow,
+            elapsed_seconds=stopwatch.elapsed(),
+            iterations=iterations,
+            extras=extras,
+        )
+
+    # ------------------------------------------------------------------
+    def _probe_candidates(
+        self,
+        ftree: FTree,
+        candidates: CandidateManager,
+        delays: Dict[Edge, int],
+        screening_sampler: ComponentSampler,
+    ) -> Optional[Tuple[Edge, float, Dict[Edge, Tuple[float, int]], int, int, int]]:
+        """Probe the current candidates and return the best edge.
+
+        Returns ``None`` if no candidate could be probed (all suspended).
+        The returned tuple is ``(best edge, best flow, per-edge probe
+        info, probed count, pruned count, delayed count)`` where probe
+        info maps each probed edge to ``(flow estimate, sampling cost)``.
+        """
+        best_edge: Optional[Edge] = None
+        best_flow = float("-inf")
+        best_lower = float("-inf")
+        probe_info: Dict[Edge, Tuple[float, int]] = {}
+        probed = 0
+        pruned = 0
+        skipped = 0
+
+        for edge in candidates:
+            if self.delayed and delays.get(edge, 0) > 0:
+                delays[edge] -= 1
+                skipped += 1
+                continue
+            probed += 1
+            probe = ftree.clone()
+            probe.insert_edge(edge.u, edge.v)
+            cost = probe.pending_estimation_cost()
+
+            if self.confidence and best_edge is not None and cost > 0:
+                # screening pass with a coarse sampler; prune hopeless candidates
+                probe.sampler = screening_sampler
+                _, screening_upper = probe.flow_interval(alpha=self.alpha)
+                if screening_upper < best_lower:
+                    pruned += 1
+                    probe_info[edge] = (screening_upper, cost)
+                    continue
+                self._invalidate_screened(probe)
+                probe.sampler = ftree.sampler
+
+            flow = probe.expected_flow(include_query=self.include_query)
+            probe_info[edge] = (flow, cost)
+            if flow > best_flow:
+                best_flow = flow
+                best_edge = edge
+                if self.confidence:
+                    best_lower, _ = probe.flow_interval(alpha=self.alpha)
+        if best_edge is None:
+            return None
+        return best_edge, best_flow, probe_info, probed, pruned, skipped
+
+    @staticmethod
+    def _invalidate_screened(probe: FTree) -> None:
+        """Drop coarse screening estimates so the full sampler re-evaluates them."""
+        for component in probe.components():
+            if component.is_mono:
+                continue
+            if getattr(component, "reach_samples", None) == _SCREENING_SAMPLES:
+                component.invalidate()
+
+    def _update_delays(
+        self,
+        delays: Dict[Edge, int],
+        probe_info: Dict[Edge, Tuple[float, int]],
+        best_edge: Edge,
+        best_flow: float,
+    ) -> None:
+        """Apply the delayed-sampling rule ``d = floor(log_c(cost / potential))``."""
+        for edge, (flow, cost) in probe_info.items():
+            if edge == best_edge or cost <= 0:
+                continue
+            if best_flow <= 0:
+                continue
+            potential = max(flow, 0.0) / best_flow
+            if potential <= 0:
+                delay = len(probe_info)  # effectively suspend for a long time
+            else:
+                delay = int(math.floor(math.log(cost / potential, self.delay_base)))
+            if delay > 0:
+                delays[edge] = delay

@@ -1,0 +1,106 @@
+"""Shared type aliases and small value objects used across the package.
+
+The library identifies vertices by arbitrary hashable objects (integers
+in all built-in generators) and identifies undirected edges by
+:class:`Edge`, an order-insensitive, hashable pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Tuple
+
+#: A vertex identifier.  Any hashable object is accepted; the built-in
+#: generators use consecutive integers starting at zero.
+VertexId = Hashable
+
+#: A raw (unordered) pair of endpoints, as accepted by most public APIs.
+EdgePair = Tuple[VertexId, VertexId]
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    """An undirected edge, normalised so that ``Edge(u, v) == Edge(v, u)``.
+
+    The two endpoints are stored in a canonical (sorted by ``repr``-stable
+    key) order, which makes :class:`Edge` safe to use as a dictionary key
+    and as a member of sets regardless of the orientation the caller used.
+
+    Examples
+    --------
+    >>> Edge(2, 1) == Edge(1, 2)
+    True
+    >>> Edge(1, 2).other(1)
+    2
+    """
+
+    u: VertexId
+    v: VertexId
+
+    def __init__(self, u: VertexId, v: VertexId) -> None:
+        if u == v:
+            raise ValueError(f"self loop on vertex {u!r} is not a valid edge")
+        first, second = _canonical_order(u, v)
+        object.__setattr__(self, "u", first)
+        object.__setattr__(self, "v", second)
+
+    def endpoints(self) -> EdgePair:
+        """Return the two endpoints as a tuple ``(u, v)`` in canonical order."""
+        return (self.u, self.v)
+
+    def other(self, vertex: VertexId) -> VertexId:
+        """Return the endpoint that is not ``vertex``.
+
+        Raises
+        ------
+        ValueError
+            If ``vertex`` is not an endpoint of this edge.
+        """
+        if vertex == self.u:
+            return self.v
+        if vertex == self.v:
+            return self.u
+        raise ValueError(f"vertex {vertex!r} is not an endpoint of {self!r}")
+
+    def is_incident_to(self, vertex: VertexId) -> bool:
+        """Return True if ``vertex`` is one of the two endpoints."""
+        return vertex == self.u or vertex == self.v
+
+    def __iter__(self):
+        yield self.u
+        yield self.v
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Edge({self.u!r}, {self.v!r})"
+
+
+def _canonical_order(u: VertexId, v: VertexId) -> EdgePair:
+    """Order two endpoints deterministically.
+
+    Endpoints of the same orderable type are sorted by their natural
+    order; mixed or unorderable types fall back to sorting by
+    ``(type name, repr)`` which is stable across processes.
+    """
+    try:
+        if u <= v:  # type: ignore[operator]
+            return u, v
+        return v, u
+    except TypeError:
+        key_u = (type(u).__name__, repr(u))
+        key_v = (type(v).__name__, repr(v))
+        if key_u <= key_v:
+            return u, v
+        return v, u
+
+
+def as_edge(item: "Edge | EdgePair") -> Edge:
+    """Coerce an :class:`Edge` or a raw pair into an :class:`Edge`."""
+    if isinstance(item, Edge):
+        return item
+    u, v = item
+    return Edge(u, v)
+
+
+def as_edges(items: Iterable["Edge | EdgePair"]) -> list[Edge]:
+    """Coerce an iterable of edges or pairs into a list of :class:`Edge`."""
+    return [as_edge(item) for item in items]

@@ -1,0 +1,68 @@
+"""Tests for the ablation studies (extensions beyond the paper)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    exact_threshold_ablation,
+    lazy_versus_eager_greedy,
+    probability_misestimation_robustness,
+)
+from repro.experiments.config import ExperimentConfig
+
+TINY = ExperimentConfig(
+    n_vertices=50,
+    degree=4,
+    budget=5,
+    n_samples=50,
+    naive_samples=20,
+    algorithms=("FT+M",),
+    seed=0,
+)
+
+
+class TestExactThresholdAblation:
+    def test_rows_per_threshold(self):
+        result = exact_threshold_ablation(thresholds=(0, 8), config=TINY)
+        assert len(result.rows) == 2
+        assert {row["exact_threshold"] for row in result.rows} == {0, 8}
+
+    def test_threshold_zero_samples_components(self):
+        result = exact_threshold_ablation(thresholds=(0, 16), config=TINY)
+        by_threshold = {row["exact_threshold"]: row for row in result.rows}
+        # with a generous threshold every cyclic component is enumerated exactly
+        assert by_threshold[16]["sampled_components"] == 0.0
+        # flows are positive in both configurations
+        assert all(row["evaluated_flow"] > 0 for row in result.rows)
+
+
+class TestProbabilityNoiseRobustness:
+    def test_rows_and_algorithms(self):
+        result = probability_misestimation_robustness(noise_levels=(0.0, 0.3), config=TINY)
+        assert len(result.rows) == 4
+        assert {row["algorithm"] for row in result.rows} == {"FT+M", "Dijkstra"}
+
+    def test_noise_never_helps_much(self):
+        """Flow under heavy noise must not exceed the noise-free flow by a large margin."""
+        result = probability_misestimation_robustness(noise_levels=(0.0, 0.5), config=TINY)
+        ftm = {row["noise"]: row["evaluated_flow"] for row in result.rows if row["algorithm"] == "FT+M"}
+        assert ftm[0.5] <= ftm[0.0] * 1.25 + 1.0
+
+
+class TestLazyVersusEager:
+    def test_rows_per_budget_and_algorithm(self):
+        result = lazy_versus_eager_greedy(budgets=(3, 6), config=TINY)
+        assert len(result.rows) == 6
+        assert {row["algorithm"] for row in result.rows} == {"FT+M", "FT+M+DS", "FT+Lazy"}
+
+    def test_lazy_probes_no_more_than_eager(self):
+        result = lazy_versus_eager_greedy(budgets=(6,), config=TINY)
+        by_algorithm = {row["algorithm"]: row for row in result.rows}
+        assert (
+            by_algorithm["FT+Lazy"]["flow_evaluations"]
+            <= by_algorithm["FT+M"]["flow_evaluations"]
+        )
+
+    def test_flows_are_comparable(self):
+        result = lazy_versus_eager_greedy(budgets=(6,), config=TINY)
+        flows = [row["evaluated_flow"] for row in result.rows]
+        assert max(flows) <= min(flows) * 1.5 + 1.0

@@ -1,0 +1,66 @@
+"""Tests for the cheap reachability bounds (related-work baselines)."""
+
+import pytest
+
+from repro.graph.generators import path_graph
+from repro.reachability.bounds import (
+    cut_upper_bound,
+    most_probable_path_lower_bound,
+    reachability_bounds,
+)
+from repro.reachability.exact import exact_reachability
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestLowerBound:
+    def test_path_graph_bound_is_exact(self):
+        graph = path_graph(4, probability=0.5)
+        assert most_probable_path_lower_bound(graph, 0, 3) == pytest.approx(0.125)
+
+    def test_is_a_lower_bound(self, triangle_graph):
+        exact = exact_reachability(triangle_graph, 0, 1).probability
+        assert most_probable_path_lower_bound(triangle_graph, 0, 1) <= exact + 1e-12
+
+    def test_same_vertex(self, triangle_graph):
+        assert most_probable_path_lower_bound(triangle_graph, 0, 0) == 1.0
+
+    def test_disconnected(self):
+        graph = path_graph(2, probability=0.5)
+        graph.add_vertex(9)
+        assert most_probable_path_lower_bound(graph, 0, 9) == 0.0
+
+
+class TestUpperBound:
+    def test_is_an_upper_bound(self, triangle_graph):
+        exact = exact_reachability(triangle_graph, 0, 1).probability
+        assert cut_upper_bound(triangle_graph, 0, 1) >= exact - 1e-12
+
+    def test_single_edge_is_exact(self):
+        graph = path_graph(2, probability=0.4)
+        assert cut_upper_bound(graph, 0, 1) == pytest.approx(0.4)
+
+    def test_certain_edge_gives_one(self):
+        graph = path_graph(2, probability=1.0)
+        assert cut_upper_bound(graph, 0, 1) == 1.0
+
+    def test_isolated_target(self):
+        graph = path_graph(2, probability=0.5)
+        graph.add_vertex(9)
+        assert cut_upper_bound(graph, 0, 9) == 0.0
+
+    def test_same_vertex(self, triangle_graph):
+        assert cut_upper_bound(triangle_graph, 2, 2) == 1.0
+
+
+class TestCombinedBounds:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bounds_bracket_exact_probability(self, seed):
+        graph = erdos_renyi_graph(10, average_degree=2.5, seed=seed)
+        exact = exact_reachability(graph, 0, 5).probability
+        lower, upper = reachability_bounds(graph, 0, 5)
+        assert lower <= exact + 1e-9
+        assert upper >= exact - 1e-9
+
+    def test_ordering(self, triangle_graph):
+        lower, upper = reachability_bounds(triangle_graph, 0, 2)
+        assert lower <= upper

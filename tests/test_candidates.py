@@ -1,0 +1,60 @@
+"""Tests for candidate-edge (frontier) management."""
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.generators import path_graph, star_graph
+from repro.selection.candidates import CandidateManager
+from repro.types import Edge
+
+
+class TestCandidateManager:
+    def test_initial_candidates_are_query_incident_edges(self, star_five):
+        manager = CandidateManager(star_five, 0)
+        assert set(manager.candidates()) == set(star_five.incident_edges(0))
+        assert len(manager) == 5
+
+    def test_unknown_query_rejected(self, star_five):
+        with pytest.raises(VertexNotFoundError):
+            CandidateManager(star_five, 99)
+
+    def test_selection_expands_frontier(self):
+        graph = path_graph(4, probability=0.5)
+        manager = CandidateManager(graph, 0)
+        assert manager.candidates() == [Edge(0, 1)]
+        newly = manager.mark_selected(Edge(0, 1))
+        assert newly == {1}
+        assert manager.candidates() == [Edge(1, 2)]
+
+    def test_connected_vertices_tracking(self):
+        graph = path_graph(3, probability=0.5)
+        manager = CandidateManager(graph, 0)
+        manager.mark_selected(Edge(0, 1))
+        assert manager.connected_vertices == {0, 1}
+        assert manager.selected_edges == {Edge(0, 1)}
+
+    def test_selecting_non_candidate_rejected(self):
+        graph = path_graph(4, probability=0.5)
+        manager = CandidateManager(graph, 0)
+        with pytest.raises(ValueError):
+            manager.mark_selected(Edge(2, 3))
+
+    def test_cycle_closing_edge_removed_from_frontier(self, triangle_graph):
+        manager = CandidateManager(triangle_graph, 0)
+        manager.mark_selected(Edge(0, 1))
+        manager.mark_selected(Edge(0, 2))
+        # the remaining candidate closes the cycle; once selected nothing is left
+        assert manager.candidates() == [Edge(1, 2)]
+        newly = manager.mark_selected(Edge(1, 2))
+        assert newly == set()
+        assert not manager.has_candidates()
+
+    def test_iteration_and_contains(self, star_five):
+        manager = CandidateManager(star_five, 0)
+        assert Edge(0, 1) in manager
+        assert sorted(manager, key=repr) == sorted(manager.candidates(), key=repr)
+
+    def test_isolated_query_has_no_candidates(self, star_five):
+        star_five.add_vertex(99)
+        manager = CandidateManager(star_five, 99)
+        assert not manager.has_candidates()

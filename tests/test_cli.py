@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import read_json, write_json
+from repro.graph.generators import erdos_renyi_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = erdos_renyi_graph(25, average_degree=3, seed=0)
+    path = tmp_path / "graph.json"
+    write_json(graph, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "erdos", "--out", "x.json"]
+        )
+        assert args.dataset == "erdos"
+
+
+class TestGenerate:
+    def test_generates_json(self, tmp_path, capsys):
+        out = tmp_path / "erdos.json"
+        code = main(["generate", "--dataset", "erdos", "--size", "30", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        graph = read_json(out)
+        assert graph.n_vertices == 30
+        assert "30 vertices" in capsys.readouterr().out
+
+
+class TestSelect:
+    def test_select_reports_flow(self, graph_file, capsys, tmp_path):
+        edges_out = tmp_path / "edges.txt"
+        code = main(
+            [
+                "select",
+                "--graph", str(graph_file),
+                "--budget", "4",
+                "--algorithm", "FT+M",
+                "--samples", "40",
+                "--out", str(edges_out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "expected flow" in output
+        assert edges_out.exists()
+        assert len(edges_out.read_text().strip().splitlines()) == 4
+
+    def test_select_with_explicit_query(self, graph_file, capsys):
+        code = main(
+            ["select", "--graph", str(graph_file), "--budget", "2", "--query", "0",
+             "--samples", "30"]
+        )
+        assert code == 0
+        assert "query vertex   : 0" in capsys.readouterr().out
+
+    def test_unknown_query_vertex(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["select", "--graph", str(graph_file), "--budget", "2", "--query", "zzz"])
+
+
+class TestEvaluate:
+    def test_evaluate_round_trip(self, graph_file, tmp_path, capsys):
+        edges_file = tmp_path / "edges.txt"
+        main(
+            ["select", "--graph", str(graph_file), "--budget", "3", "--query", "0",
+             "--samples", "30", "--out", str(edges_file)]
+        )
+        capsys.readouterr()
+        code = main(
+            ["evaluate", "--graph", str(graph_file), "--edges", str(edges_file),
+             "--query", "0", "--samples", "100"]
+        )
+        assert code == 0
+        assert "expected flow" in capsys.readouterr().out
+
+    def test_malformed_edge_file(self, graph_file, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("only-one-token\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--graph", str(graph_file), "--edges", str(bad), "--query", "0"])
+
+
+class TestExperiment:
+    def test_variance_figure_runs(self, capsys):
+        code = main(["experiment", "--figure", "variance"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "whole-graph MC" in out
+
+    def test_csv_output(self, capsys):
+        code = main(["experiment", "--figure", "variance", "--csv"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("estimator")
+
+    def test_output_dir_writes_csv(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        code = main(
+            ["experiment", "--figure", "7a", "--quick", "--output-dir", str(out_dir)]
+        )
+        assert code == 0
+        written = list(out_dir.glob("figure_*.csv"))
+        assert len(written) == 1
+        assert (out_dir / "SUMMARY.md").exists()
+        assert "CSV files written" in capsys.readouterr().out

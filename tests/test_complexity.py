@@ -1,0 +1,99 @@
+"""Tests for the Theorem-1 knapsack reduction."""
+
+import pytest
+
+from repro.complexity import (
+    REDUCTION_QUERY,
+    KnapsackInstance,
+    KnapsackItem,
+    knapsack_to_maxflow,
+    selection_to_items,
+    solve_knapsack_dynamic_programming,
+    solve_knapsack_via_maxflow,
+)
+from repro.graph.validation import validate_graph
+from repro.types import Edge
+
+
+@pytest.fixture
+def paper_instance() -> KnapsackInstance:
+    """The instance of Figure 2: items (w=2, v=4), (w=4, v=3), (w=1, v=2), W=5."""
+    return KnapsackInstance.from_tuples(
+        [("i1", 2, 4.0), ("i2", 4, 3.0), ("i3", 1, 2.0)], capacity=5
+    )
+
+
+class TestInstanceValidation:
+    def test_invalid_item_weight(self):
+        with pytest.raises(ValueError):
+            KnapsackItem("x", 0, 1.0)
+
+    def test_invalid_item_value(self):
+        with pytest.raises(ValueError):
+            KnapsackItem("x", 1, -1.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance((), capacity=-1)
+
+
+class TestReductionGraph:
+    def test_gadget_structure(self, paper_instance):
+        graph, budget = knapsack_to_maxflow(paper_instance)
+        validate_graph(graph)
+        assert budget == 5
+        # one chain vertex per unit of weight, plus the query vertex
+        assert graph.n_vertices == 1 + 2 + 4 + 1
+        assert graph.n_edges == 2 + 4 + 1
+        # only terminal vertices carry value
+        assert graph.weight("i1/2") == 4.0
+        assert graph.weight("i1/1") == 0.0
+        assert graph.weight("i3/1") == 2.0
+        # all edges are certain
+        assert all(graph.probability(e) == 1.0 for e in graph.edges())
+
+    def test_selection_decoding(self, paper_instance):
+        graph, _ = knapsack_to_maxflow(paper_instance)
+        # select the full chain of i1 and of i3
+        edges = [Edge(REDUCTION_QUERY, "i1/1"), Edge("i1/1", "i1/2"), Edge(REDUCTION_QUERY, "i3/1")]
+        packed = selection_to_items(paper_instance, edges)
+        assert {item.name for item in packed} == {"i1", "i3"}
+
+    def test_partial_chain_does_not_pack_the_item(self, paper_instance):
+        edges = [Edge(REDUCTION_QUERY, "i2/1"), Edge("i2/1", "i2/2")]
+        packed = selection_to_items(paper_instance, edges)
+        assert packed == []
+
+
+class TestReductionSolvesKnapsack:
+    def test_paper_instance(self, paper_instance):
+        """Figure 2: the optimum packs i1 and i3 (value 6) within capacity 5."""
+        packed, value = solve_knapsack_via_maxflow(paper_instance)
+        assert {item.name for item in packed} == {"i1", "i3"}
+        assert value == pytest.approx(6.0)
+
+    def test_agrees_with_dynamic_programming(self, paper_instance):
+        _, via_maxflow = solve_knapsack_via_maxflow(paper_instance)
+        _, via_dp = solve_knapsack_dynamic_programming(paper_instance)
+        assert via_maxflow == pytest.approx(via_dp)
+
+    @pytest.mark.parametrize(
+        "items,capacity",
+        [
+            ([("a", 1, 1.0), ("b", 2, 3.0), ("c", 3, 4.0)], 4),
+            ([("a", 2, 5.0), ("b", 2, 5.0), ("c", 2, 5.0)], 3),
+            ([("a", 1, 0.0), ("b", 1, 2.0)], 1),
+            ([("a", 3, 7.0)], 2),
+        ],
+    )
+    def test_random_small_instances(self, items, capacity):
+        instance = KnapsackInstance.from_tuples(items, capacity)
+        _, via_maxflow = solve_knapsack_via_maxflow(instance)
+        _, via_dp = solve_knapsack_dynamic_programming(instance)
+        assert via_maxflow == pytest.approx(via_dp)
+
+    def test_zero_capacity(self):
+        instance = KnapsackInstance.from_tuples([("a", 1, 5.0)], 0)
+        packed, value = solve_knapsack_via_maxflow(instance)
+        assert packed == []
+        assert value == 0.0

@@ -1,0 +1,79 @@
+"""Tests for the dataset registry and the real-world surrogates."""
+
+import math
+
+import pytest
+
+from repro.algorithms.traversal import is_connected
+from repro.datasets.registry import DATASET_NAMES, dataset_spec, load_dataset
+from repro.datasets.surrogates import (
+    dblp_surrogate,
+    facebook_surrogate,
+    san_joaquin_surrogate,
+    youtube_surrogate,
+)
+from repro.exceptions import DatasetError
+from repro.graph.validation import validate_graph
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in DATASET_NAMES:
+            spec = dataset_spec(name)
+            assert spec.name == name
+            assert spec.default_size > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("not-a-dataset")
+        with pytest.raises(DatasetError):
+            load_dataset("not-a-dataset")
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("erdos", n_vertices=0)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_small_instances_generate_and_validate(self, name):
+        graph = load_dataset(name, n_vertices=60, seed=0)
+        validate_graph(graph)
+        assert graph.n_vertices >= 30
+        assert graph.n_edges > 0
+
+    def test_reproducible_generation(self):
+        a = load_dataset("erdos", n_vertices=50, seed=7)
+        b = load_dataset("erdos", n_vertices=50, seed=7)
+        assert a == b
+
+    def test_locality_flags(self):
+        assert dataset_spec("san-joaquin").locality
+        assert dataset_spec("partitioned").locality
+        assert not dataset_spec("facebook").locality
+        assert not dataset_spec("youtube").locality
+
+
+class TestSurrogates:
+    def test_san_joaquin_distance_decay_probabilities(self):
+        graph = san_joaquin_surrogate(100, seed=0)
+        assert is_connected(graph)
+        # road-style graphs are sparse: average degree well below 5
+        assert graph.average_degree() < 5.0
+
+    def test_facebook_close_friend_structure(self):
+        graph = facebook_surrogate(80, seed=0)
+        high_probability_edges = [e for e in graph.edges() if graph.probability(e) >= 0.5]
+        # each user re-weights ~10 incident edges; expect a large high-probability core
+        assert len(high_probability_edges) >= 80 * 3
+        assert graph.average_degree() > 10
+
+    def test_dblp_is_clustered_and_sparse(self):
+        graph = dblp_surrogate(120, seed=0)
+        assert graph.average_degree() < 12
+        assert all(graph.degree(v) >= 1 for v in graph.vertices())
+
+    def test_youtube_heavy_tail(self):
+        graph = youtube_surrogate(300, seed=0)
+        degrees = sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+        average = sum(degrees) / len(degrees)
+        assert degrees[0] > 3 * average
+        assert is_connected(graph)

@@ -1,0 +1,81 @@
+"""Tests for exact reachability / flow via possible-world enumeration."""
+
+import pytest
+
+from repro.exceptions import ExactEnumerationError, VertexNotFoundError
+from repro.graph.generators import path_graph, star_graph
+from repro.reachability.exact import (
+    exact_expected_flow,
+    exact_reachability,
+    exact_reachability_all,
+)
+from repro.types import Edge
+
+
+class TestExactReachability:
+    def test_single_edge(self):
+        graph = path_graph(2, probability=0.3)
+        assert exact_reachability(graph, 0, 1).probability == pytest.approx(0.3)
+
+    def test_path_is_product(self):
+        graph = path_graph(4, probability=0.5)
+        assert exact_reachability(graph, 0, 3).probability == pytest.approx(0.125)
+
+    def test_triangle_two_terminal(self, triangle_graph):
+        # P(0 <-> 1) = p01 + (1 - p01) * p02 * p12
+        expected = 0.5 + 0.5 * 0.7 * 0.6
+        assert exact_reachability(triangle_graph, 0, 1).probability == pytest.approx(expected)
+
+    def test_self_reachability_is_one(self, triangle_graph):
+        assert exact_reachability(triangle_graph, 1, 1).probability == pytest.approx(1.0)
+
+    def test_disconnected_vertex(self):
+        graph = path_graph(2, probability=0.5)
+        graph.add_vertex(9)
+        assert exact_reachability(graph, 0, 9).probability == 0.0
+
+    def test_all_reachabilities(self, triangle_graph):
+        probabilities = exact_reachability_all(triangle_graph, 0)
+        assert probabilities[0] == pytest.approx(1.0)
+        assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+    def test_unknown_vertices(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            exact_reachability(triangle_graph, 0, 99)
+        with pytest.raises(VertexNotFoundError):
+            exact_reachability_all(triangle_graph, 99)
+
+    def test_edge_restriction(self, triangle_graph):
+        restricted = exact_reachability(triangle_graph, 0, 1, edges=[Edge(0, 1)])
+        assert restricted.probability == pytest.approx(0.5)
+
+    def test_estimate_is_marked_exact(self, triangle_graph):
+        assert exact_reachability(triangle_graph, 0, 1).is_exact
+
+
+class TestExactFlow:
+    def test_star_flow(self):
+        graph = star_graph(4, probability=0.5, weight=2.0)
+        flow = exact_expected_flow(graph, 0)
+        assert flow.expected_flow == pytest.approx(4 * 0.5 * 2.0)
+
+    def test_include_query(self, triangle_graph):
+        excluded = exact_expected_flow(triangle_graph, 0, include_query=False)
+        included = exact_expected_flow(triangle_graph, 0, include_query=True)
+        assert included.expected_flow == pytest.approx(excluded.expected_flow + 1.0)
+        assert 0 in included.reachability
+        assert 0 not in excluded.reachability
+
+    def test_weights_are_honoured(self):
+        graph = path_graph(3, probability=0.5)
+        graph.set_weight(2, 10.0)
+        flow = exact_expected_flow(graph, 0)
+        assert flow.expected_flow == pytest.approx(0.5 * 1.0 + 0.25 * 10.0)
+
+    def test_limit_enforced(self):
+        graph = path_graph(25, probability=0.5)
+        with pytest.raises(ExactEnumerationError):
+            exact_expected_flow(graph, 0, limit=10)
+
+    def test_flow_estimate_is_exact(self, triangle_graph):
+        assert exact_expected_flow(triangle_graph, 0).is_exact

@@ -1,0 +1,98 @@
+"""Tests for the factoring-based exact two-terminal reliability solver."""
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+)
+from repro.reachability.exact import exact_reachability
+from repro.reachability.factoring import (
+    FactoringBudgetExceeded,
+    two_terminal_reliability,
+)
+from repro.types import Edge
+
+
+class TestSmallGraphs:
+    def test_single_edge(self):
+        graph = path_graph(2, probability=0.3)
+        assert two_terminal_reliability(graph, 0, 1) == pytest.approx(0.3)
+
+    def test_series_path(self):
+        graph = path_graph(4, probability=0.5)
+        assert two_terminal_reliability(graph, 0, 3) == pytest.approx(0.125)
+
+    def test_parallel_edges_via_triangle(self, triangle_graph):
+        expected = exact_reachability(triangle_graph, 0, 1).probability
+        assert two_terminal_reliability(triangle_graph, 0, 1) == pytest.approx(expected)
+
+    def test_same_vertex(self, triangle_graph):
+        assert two_terminal_reliability(triangle_graph, 2, 2) == 1.0
+
+    def test_disconnected_terminals(self):
+        graph = path_graph(2, probability=0.5)
+        graph.add_vertex(9)
+        assert two_terminal_reliability(graph, 0, 9) == 0.0
+
+    def test_unknown_terminals(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            two_terminal_reliability(triangle_graph, 0, 99)
+        with pytest.raises(VertexNotFoundError):
+            two_terminal_reliability(triangle_graph, 99, 0)
+
+    def test_edge_restriction(self, triangle_graph):
+        reliability = two_terminal_reliability(triangle_graph, 0, 1, edges=[Edge(0, 1)])
+        assert reliability == pytest.approx(0.5)
+
+    def test_certain_edges(self):
+        graph = path_graph(3, probability=1.0)
+        assert two_terminal_reliability(graph, 0, 2) == pytest.approx(1.0)
+
+
+class TestAgainstEnumeration:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_random_graphs_match_enumeration(self, seed):
+        graph = erdos_renyi_graph(9, average_degree=3.0, seed=seed)
+        target = max(v for v in graph.vertices())
+        expected = exact_reachability(graph, 0, target).probability
+        assert two_terminal_reliability(graph, 0, target) == pytest.approx(expected, abs=1e-9)
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(8, probability=0.6)
+        expected = exact_reachability(graph, 0, 4).probability
+        assert two_terminal_reliability(graph, 0, 4) == pytest.approx(expected, abs=1e-9)
+
+    def test_dense_graph(self):
+        graph = complete_graph(6, probability=0.3)
+        expected = exact_reachability(graph, 0, 5).probability
+        assert two_terminal_reliability(graph, 0, 5) == pytest.approx(expected, abs=1e-9)
+
+    def test_handles_more_edges_than_enumeration_limit(self):
+        """A long ladder has > 20 edges but factoring with reductions still solves it."""
+        from repro.graph.uncertain_graph import UncertainGraph
+
+        graph = UncertainGraph()
+        length = 12
+        for i in range(length + 1):
+            graph.add_vertex(("a", i))
+            graph.add_vertex(("b", i))
+        probability = 0.9
+        for i in range(length):
+            graph.add_edge(("a", i), ("a", i + 1), probability)
+            graph.add_edge(("b", i), ("b", i + 1), probability)
+        graph.add_edge(("a", 0), ("b", 0), probability)
+        graph.add_edge(("a", length), ("b", length), probability)
+        result = two_terminal_reliability(graph, ("a", 0), ("a", length))
+        # two disjoint length-12 / length-14 routes; bounded by union bound
+        single_route = probability ** length
+        assert result >= single_route
+        assert result <= 2 * single_route + 0.05
+
+    def test_budget_exceeded(self):
+        graph = complete_graph(8, probability=0.5)
+        with pytest.raises(FactoringBudgetExceeded):
+            two_terminal_reliability(graph, 0, 7, recursion_budget=10)

@@ -1,0 +1,113 @@
+"""Tests for the per-figure experiment reproductions (smoke-scale configurations)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    estimator_variance_ablation,
+    figure5a_graph_size_locality,
+    figure5b_graph_size_no_locality,
+    figure6a_density_locality,
+    figure6b_density_no_locality,
+    figure7a_budget_locality,
+    figure7b_budget_no_locality,
+    figure8_wsn,
+    figure9_real_world,
+    parameter_c_sweep,
+)
+
+TINY = ExperimentConfig(
+    n_vertices=40,
+    degree=4,
+    budget=4,
+    n_samples=40,
+    naive_samples=20,
+    algorithms=("Dijkstra", "FT", "FT+M"),
+    seed=0,
+)
+
+
+def _check_rows(rows, x_name):
+    assert rows, "figure produced no rows"
+    for row in rows:
+        assert row["algorithm"] in TINY.algorithms
+        assert row["evaluated_flow"] >= 0.0
+        assert row["elapsed_seconds"] >= 0.0
+        assert x_name in row
+
+
+class TestSizeSweeps:
+    def test_figure5a(self):
+        result = figure5a_graph_size_locality(sizes=(24, 40), config=TINY)
+        _check_rows(result.rows, "n_vertices")
+        assert result.figure == "5a"
+        assert len(result.rows) == 2 * len(TINY.algorithms)
+
+    def test_figure5b(self):
+        result = figure5b_graph_size_no_locality(sizes=(24, 40), config=TINY)
+        _check_rows(result.rows, "n_vertices")
+        series = result.series()
+        assert set(series) == set(TINY.algorithms)
+
+
+class TestDensitySweeps:
+    def test_figure6a(self):
+        result = figure6a_density_locality(degrees=(4, 6), config=TINY)
+        _check_rows(result.rows, "degree")
+
+    def test_figure6b(self):
+        result = figure6b_density_no_locality(degrees=(4, 6), config=TINY)
+        _check_rows(result.rows, "degree")
+
+
+class TestBudgetSweeps:
+    def test_figure7a(self):
+        result = figure7a_budget_locality(budgets=(2, 4), config=TINY)
+        _check_rows(result.rows, "budget_k")
+
+    def test_figure7b_flow_grows_with_budget(self):
+        result = figure7b_budget_no_locality(budgets=(2, 6), config=TINY)
+        _check_rows(result.rows, "budget_k")
+        for algorithm, points in result.series().items():
+            flows = [flow for _, flow in points]
+            assert flows[-1] >= flows[0] - 1e-9
+
+
+class TestWsnAndRealWorld:
+    def test_figure8_panels(self):
+        panels = figure8_wsn(eps_values=(0.12,), budgets=(2, 4), config=TINY)
+        assert set(panels) == {0.12}
+        _check_rows(panels[0.12].rows, "budget_k")
+
+    def test_figure9_single_dataset(self):
+        panels = figure9_real_world(
+            datasets=("dblp",), budgets=(2, 4), config=TINY, sizes={"dblp": 40}
+        )
+        assert set(panels) == {"dblp"}
+        _check_rows(panels["dblp"].rows, "budget_k")
+        assert panels["dblp"].figure == "9c"
+
+
+class TestAblations:
+    def test_parameter_c_sweep(self):
+        result = parameter_c_sweep(c_values=(1.2, 2.0), config=TINY)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["algorithm"] == "FT+M+DS"
+            assert row["evaluated_flow"] >= 0.0
+
+    def test_variance_ablation_reports_both_estimators(self):
+        result = estimator_variance_ablation(
+            n_vertices=10, average_degree=3.0, n_samples=50, repetitions=6, seed=0
+        )
+        estimators = {row["estimator"] for row in result.rows}
+        assert estimators == {"whole-graph MC", "F-tree component MC"}
+        for row in result.rows:
+            assert row["variance"] >= 0.0
+            assert row["exact_flow"] > 0.0
+
+    def test_all_figures_registry_is_complete(self):
+        assert set(ALL_FIGURES) == {
+            "5a", "5b", "6a", "6b", "7a", "7b", "8", "9", "param-c", "variance",
+        }

@@ -1,0 +1,131 @@
+"""Tests for the from-scratch F-tree builder and its agreement with incremental insertion."""
+
+import pytest
+
+from repro.experiments.running_example import (
+    QUERY,
+    ftree_example_graph,
+    ftree_example_insertion_order,
+)
+from repro.ftree.builder import build_ftree
+from repro.ftree.ftree import FTree
+from repro.ftree.sampler import ComponentSampler
+from repro.graph.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.reachability.exact import exact_expected_flow
+from repro.types import Edge
+
+
+def exact_sampler() -> ComponentSampler:
+    return ComponentSampler(n_samples=10, exact_threshold=20, seed=0)
+
+
+class TestBuilderBasics:
+    def test_empty_edge_set(self, small_path):
+        ftree = build_ftree(small_path, [], 0, sampler=exact_sampler())
+        assert ftree.expected_flow() == 0.0
+        assert ftree.components() == []
+
+    def test_tree_only_graph_has_mono_components_only(self, small_path):
+        ftree = build_ftree(small_path, small_path.edge_list(), 0, sampler=exact_sampler())
+        ftree.check_invariants()
+        assert all(component.is_mono for component in ftree.components())
+        assert ftree.expected_flow() == pytest.approx(0.875)
+
+    def test_cycle_graph_has_single_bi_component(self, five_cycle):
+        ftree = build_ftree(five_cycle, five_cycle.edge_list(), 0, sampler=exact_sampler())
+        ftree.check_invariants()
+        components = ftree.components()
+        assert len(components) == 1
+        assert not components[0].is_mono
+        assert components[0].articulation == 0
+
+    def test_edges_not_connected_to_query_are_ignored(self):
+        graph = path_graph(5, probability=0.5)
+        graph.remove_edge(1, 2)  # disconnect {2,3,4} from {0,1}
+        ftree = build_ftree(graph, graph.edge_list(), 0, sampler=exact_sampler())
+        ftree.check_invariants()
+        assert not ftree.is_connected_vertex(3)
+        assert ftree.expected_flow() == pytest.approx(0.5)
+
+    def test_lollipop_structure(self, lollipop_graph):
+        ftree = build_ftree(
+            lollipop_graph, lollipop_graph.edge_list(), 0, sampler=exact_sampler()
+        )
+        ftree.check_invariants()
+        bi = [c for c in ftree.components() if not c.is_mono]
+        mono = [c for c in ftree.components() if c.is_mono]
+        assert len(bi) == 1
+        assert bi[0].articulation == 0
+        assert len(mono) == 1
+        assert mono[0].articulation == 2
+        assert mono[0].vertices == {3, 4}
+
+    def test_unknown_query_rejected(self, small_path):
+        from repro.exceptions import VertexNotFoundError
+
+        with pytest.raises(VertexNotFoundError):
+            build_ftree(small_path, small_path.edge_list(), 999)
+
+
+class TestBuilderVsIncremental:
+    def test_figure3_graph_agreement(self):
+        graph = ftree_example_graph()
+        order = ftree_example_insertion_order()
+        incremental = FTree(graph, QUERY, sampler=exact_sampler())
+        for edge in order:
+            incremental.insert_edge(edge.u, edge.v)
+        built = build_ftree(graph, order, QUERY, sampler=exact_sampler())
+        assert incremental.expected_flow() == pytest.approx(built.expected_flow())
+        # the partition into bi-connected components must agree exactly
+        def bi_partition(ftree):
+            return {
+                frozenset(component.vertices) | {component.articulation}
+                for component in ftree.components()
+                if not component.is_mono
+            }
+
+        assert bi_partition(incremental) == bi_partition(built)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_graph_agreement(self, seed):
+        graph = erdos_renyi_graph(14, average_degree=3.0, seed=seed)
+        edges = graph.edge_list()
+        # keep at most 16 edges so exact enumeration stays cheap
+        edges = edges[:16]
+        # build a connectivity-preserving insertion order around vertex 0
+        connected = {0}
+        order = []
+        remaining = list(edges)
+        changed = True
+        while remaining and changed:
+            changed = False
+            for edge in list(remaining):
+                if edge.u in connected or edge.v in connected:
+                    order.append(edge)
+                    connected.update(edge.endpoints())
+                    remaining.remove(edge)
+                    changed = True
+        incremental = FTree(graph, 0, sampler=exact_sampler())
+        for edge in order:
+            incremental.insert_edge(edge.u, edge.v)
+        incremental.check_invariants()
+        built = build_ftree(graph, order, 0, sampler=exact_sampler())
+        built.check_invariants()
+        exact = exact_expected_flow(graph, 0, edges=order).expected_flow
+        assert incremental.expected_flow() == pytest.approx(exact)
+        assert built.expected_flow() == pytest.approx(exact)
+
+    def test_insertion_after_build(self):
+        """A built F-tree accepts further incremental insertions."""
+        graph = cycle_graph(6, probability=0.5)
+        graph.add_vertex(99, weight=2.0)
+        graph.add_edge(3, 99, 0.5)
+        initial = [Edge(0, 1), Edge(1, 2), Edge(2, 3)]
+        ftree = build_ftree(graph, initial, 0, sampler=exact_sampler())
+        ftree.insert_edge(3, 99)
+        ftree.insert_edge(3, 4)
+        ftree.insert_edge(4, 5)
+        ftree.insert_edge(5, 0)
+        ftree.check_invariants()
+        exact = exact_expected_flow(graph, 0).expected_flow
+        assert ftree.expected_flow() == pytest.approx(exact)

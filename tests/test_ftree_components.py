@@ -1,0 +1,154 @@
+"""Tests for the F-tree component classes."""
+
+import pytest
+
+from repro.exceptions import FTreeInvariantError
+from repro.ftree.components import BiConnectedComponent, MonoConnectedComponent
+from repro.ftree.sampler import ComponentSampler
+from repro.graph.generators import path_graph, cycle_graph
+from repro.types import Edge
+
+
+class TestMonoComponent:
+    def test_add_vertices_and_edges(self):
+        component = MonoConnectedComponent(1, articulation="Q")
+        component.add_vertex("a", "Q")
+        component.add_vertex("b", "a")
+        assert component.vertices == {"a", "b"}
+        assert component.edges() == {Edge("Q", "a"), Edge("a", "b")}
+        assert component.is_mono
+
+    def test_add_vertex_requires_known_parent(self):
+        component = MonoConnectedComponent(1, articulation="Q")
+        with pytest.raises(FTreeInvariantError):
+            component.add_vertex("a", "unknown")
+
+    def test_duplicate_vertex_rejected(self):
+        component = MonoConnectedComponent(1, articulation="Q")
+        component.add_vertex("a", "Q")
+        with pytest.raises(FTreeInvariantError):
+            component.add_vertex("a", "Q")
+
+    def test_path_to_articulation(self):
+        component = MonoConnectedComponent(1, articulation="Q")
+        component.add_vertex("a", "Q")
+        component.add_vertex("b", "a")
+        component.add_vertex("c", "b")
+        assert component.path_to_articulation("c") == ["c", "b", "a", "Q"]
+        assert component.path_to_articulation("Q") == ["Q"]
+
+    def test_path_of_foreign_vertex_rejected(self):
+        component = MonoConnectedComponent(1, articulation="Q")
+        with pytest.raises(FTreeInvariantError):
+            component.path_to_articulation("nope")
+
+    def test_subtree_vertices(self):
+        component = MonoConnectedComponent(1, articulation="Q")
+        component.add_vertex("a", "Q")
+        component.add_vertex("b", "a")
+        component.add_vertex("c", "a")
+        component.add_vertex("d", "Q")
+        assert component.subtree_vertices("a") == {"a", "b", "c"}
+        assert component.subtree_vertices("d") == {"d"}
+
+    def test_local_reachability_is_path_product(self):
+        graph = path_graph(4, probability=0.5)
+        component = MonoConnectedComponent(1, articulation=0)
+        component.add_vertex(1, 0)
+        component.add_vertex(2, 1)
+        component.add_vertex(3, 2)
+        reach = component.local_reachability(graph)
+        assert reach[1] == pytest.approx(0.5)
+        assert reach[2] == pytest.approx(0.25)
+        assert reach[3] == pytest.approx(0.125)
+
+    def test_remove_vertices(self):
+        component = MonoConnectedComponent(1, articulation="Q")
+        component.add_vertex("a", "Q")
+        component.add_vertex("b", "a")
+        component.remove_vertices(["b"])
+        assert component.vertices == {"a"}
+        assert "b" not in component.parent_of
+
+    def test_clone_is_independent(self):
+        component = MonoConnectedComponent(1, articulation="Q")
+        component.add_vertex("a", "Q")
+        clone = component.clone(component_id=9)
+        clone.add_vertex("b", "a")
+        assert component.vertices == {"a"}
+        assert clone.component_id == 9
+
+    def test_check_invariants(self):
+        component = MonoConnectedComponent(1, articulation="Q")
+        component.add_vertex("a", "Q")
+        component.check_invariants()
+        component.parent_of["a"] = "a"  # corrupt: self-parent cycle
+        with pytest.raises(FTreeInvariantError):
+            component.check_invariants()
+
+
+class TestBiComponent:
+    def test_add_edge_tracks_vertices(self):
+        component = BiConnectedComponent(2, articulation=0)
+        component.add_edge(Edge(0, 1))
+        component.add_edge(Edge(1, 2))
+        component.add_edge(Edge(2, 0))
+        assert component.vertices == {1, 2}
+        assert not component.is_mono
+        assert component.needs_estimation
+
+    def test_local_reachability_uses_sampler(self, triangle_graph):
+        component = BiConnectedComponent(2, articulation=0)
+        for edge in triangle_graph.edges():
+            component.add_edge(edge)
+        sampler = ComponentSampler(n_samples=10, exact_threshold=10, seed=0)
+        reach = component.local_reachability(triangle_graph, sampler)
+        # exact since the component is tiny: P(0 <-> 1) = 0.5 + 0.5 * 0.7 * 0.6
+        assert reach[1] == pytest.approx(0.5 + 0.5 * 0.42)
+        assert not component.needs_estimation
+
+    def test_local_reachability_without_sampler_raises(self, triangle_graph):
+        component = BiConnectedComponent(2, articulation=0)
+        component.add_edge(Edge(0, 1))
+        with pytest.raises(FTreeInvariantError):
+            component.local_reachability(triangle_graph, None)
+
+    def test_invalidate_clears_cache(self, triangle_graph):
+        component = BiConnectedComponent(2, articulation=0)
+        for edge in triangle_graph.edges():
+            component.add_edge(edge)
+        sampler = ComponentSampler(n_samples=10, exact_threshold=10, seed=0)
+        component.local_reachability(triangle_graph, sampler)
+        component.invalidate()
+        assert component.needs_estimation
+
+    def test_adding_edge_invalidates(self, triangle_graph):
+        component = BiConnectedComponent(2, articulation=0)
+        component.add_edge(Edge(0, 1))
+        sampler = ComponentSampler(n_samples=10, exact_threshold=10, seed=0)
+        component.local_reachability(triangle_graph, sampler)
+        component.add_edge(Edge(1, 2))
+        assert component.needs_estimation
+
+    def test_absorb(self):
+        component = BiConnectedComponent(2, articulation=0)
+        component.absorb(vertices=[1, 2], edges=[Edge(0, 1), Edge(1, 2), Edge(2, 0)])
+        assert component.vertices == {1, 2}
+        assert len(component.edges()) == 3
+
+    def test_clone_preserves_cache(self, triangle_graph):
+        component = BiConnectedComponent(2, articulation=0)
+        for edge in triangle_graph.edges():
+            component.add_edge(edge)
+        sampler = ComponentSampler(n_samples=10, exact_threshold=10, seed=0)
+        component.local_reachability(triangle_graph, sampler)
+        clone = component.clone()
+        assert clone.reach == component.reach
+        assert clone.reach is not component.reach
+
+    def test_check_invariants_detects_foreign_edges(self):
+        component = BiConnectedComponent(2, articulation=0)
+        component.add_edge(Edge(0, 1))
+        component.vertices.discard(1)
+        with pytest.raises(FTreeInvariantError):
+            component.check_invariants()

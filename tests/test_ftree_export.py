@@ -1,0 +1,78 @@
+"""Tests for DOT export and F-tree summaries."""
+
+import json
+
+from repro.experiments.running_example import QUERY, ftree_example_graph
+from repro.ftree.builder import build_ftree
+from repro.ftree.export import ftree_summary, ftree_to_dot, graph_to_dot
+from repro.ftree.sampler import ComponentSampler
+from repro.graph.generators import path_graph
+
+
+class TestGraphToDot:
+    def test_contains_all_vertices_and_edges(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph, name="tri")
+        assert dot.startswith('graph "tri" {')
+        assert dot.count(" -- ") == 3
+        assert 'label="0.50"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_weights_in_labels(self):
+        graph = path_graph(2, weight=3.5)
+        dot = graph_to_dot(graph)
+        assert "w=3.5" in dot
+
+    def test_string_vertices_are_quoted(self):
+        graph = path_graph(2)
+        graph.add_vertex("node with spaces")
+        dot = graph_to_dot(graph)
+        assert '"node with spaces"' in dot
+
+
+class TestFtreeToDot:
+    def test_clusters_per_component(self):
+        graph = ftree_example_graph()
+        ftree = build_ftree(
+            graph, graph.edge_list(), QUERY, sampler=ComponentSampler(exact_threshold=12)
+        )
+        dot = ftree_to_dot(ftree)
+        assert dot.count("subgraph cluster_") == len(ftree.components())
+        assert "doublecircle" in dot  # the query vertex
+        # every selected edge appears exactly once
+        assert dot.count(" -- ") == ftree.n_selected
+
+
+class TestFtreeSummary:
+    def test_summary_is_json_serialisable(self):
+        graph = ftree_example_graph()
+        ftree = build_ftree(
+            graph, graph.edge_list(), QUERY, sampler=ComponentSampler(exact_threshold=12)
+        )
+        summary = ftree_summary(ftree)
+        encoded = json.dumps(summary)
+        assert "components" in encoded
+
+    def test_summary_counts(self):
+        graph = ftree_example_graph()
+        ftree = build_ftree(
+            graph, graph.edge_list(), QUERY, sampler=ComponentSampler(exact_threshold=12)
+        )
+        summary = ftree_summary(ftree)
+        assert summary["query"] == QUERY
+        assert summary["n_components"] == 6
+        assert summary["n_bi_components"] == 3
+        assert summary["n_selected_edges"] == graph.n_edges
+        kinds = {entry["kind"] for entry in summary["components"]}
+        assert kinds == {"mono", "bi"}
+
+    def test_bi_component_estimation_flags(self):
+        graph = ftree_example_graph()
+        ftree = build_ftree(
+            graph, graph.edge_list(), QUERY, sampler=ComponentSampler(exact_threshold=12)
+        )
+        before = ftree_summary(ftree)
+        assert any(entry.get("estimated") is False for entry in before["components"])
+        ftree.expected_flow()
+        after = ftree_summary(ftree)
+        bi_entries = [entry for entry in after["components"] if entry["kind"] == "bi"]
+        assert all(entry["estimated"] for entry in bi_entries)

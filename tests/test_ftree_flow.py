@@ -1,0 +1,106 @@
+"""Tests for F-tree flow evaluation, confidence intervals and estimation cost."""
+
+import pytest
+
+from repro.ftree.builder import build_ftree
+from repro.ftree.ftree import FTree
+from repro.ftree.memo import MemoCache
+from repro.ftree.sampler import ComponentSampler
+from repro.graph.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.reachability.exact import exact_expected_flow
+
+
+class TestExpectedFlow:
+    def test_flow_on_tree_is_exact_and_deterministic(self, small_path):
+        ftree = build_ftree(
+            small_path,
+            small_path.edge_list(),
+            0,
+            sampler=ComponentSampler(n_samples=1, exact_threshold=0, seed=0),
+        )
+        assert ftree.expected_flow() == pytest.approx(0.875)
+
+    def test_include_query_adds_query_weight(self, small_path):
+        small_path.set_weight(0, 5.0)
+        ftree = build_ftree(small_path, small_path.edge_list(), 0)
+        assert ftree.expected_flow(include_query=True) == pytest.approx(
+            ftree.expected_flow() + 5.0
+        )
+
+    def test_sampled_flow_converges_to_exact(self):
+        graph = cycle_graph(7, probability=0.6)
+        sampler = ComponentSampler(n_samples=3000, exact_threshold=0, seed=3)
+        ftree = build_ftree(graph, graph.edge_list(), 0, sampler=sampler)
+        exact = exact_expected_flow(graph, 0).expected_flow
+        assert ftree.expected_flow() == pytest.approx(exact, rel=0.06)
+
+    def test_weights_are_respected(self):
+        graph = path_graph(3, probability=0.5)
+        graph.set_weight(2, 8.0)
+        ftree = build_ftree(graph, graph.edge_list(), 0)
+        assert ftree.expected_flow() == pytest.approx(0.5 * 1.0 + 0.25 * 8.0)
+
+    def test_empty_tree_has_zero_flow(self, small_path):
+        assert FTree(small_path, 0).expected_flow() == 0.0
+
+
+class TestFlowInterval:
+    def test_tree_interval_has_zero_width(self, small_path):
+        ftree = build_ftree(small_path, small_path.edge_list(), 0)
+        lower, upper = ftree.flow_interval()
+        assert lower == pytest.approx(upper)
+        assert lower == pytest.approx(0.875)
+
+    def test_sampled_interval_brackets_exact_flow(self):
+        graph = cycle_graph(7, probability=0.5)
+        sampler = ComponentSampler(n_samples=400, exact_threshold=0, seed=5)
+        ftree = build_ftree(graph, graph.edge_list(), 0, sampler=sampler)
+        exact = exact_expected_flow(graph, 0).expected_flow
+        lower, upper = ftree.flow_interval(alpha=0.01)
+        assert lower <= exact <= upper
+        assert lower <= ftree.expected_flow() <= upper
+
+    def test_include_query_shifts_both_bounds(self, small_path):
+        small_path.set_weight(0, 2.0)
+        ftree = build_ftree(small_path, small_path.edge_list(), 0)
+        lower, upper = ftree.flow_interval(include_query=True)
+        assert lower == pytest.approx(0.875 + 2.0)
+        assert upper == pytest.approx(0.875 + 2.0)
+
+
+class TestEstimationCost:
+    def test_tree_has_zero_cost(self, small_path):
+        ftree = build_ftree(small_path, small_path.edge_list(), 0)
+        assert ftree.pending_estimation_cost() == 0
+
+    def test_cycle_cost_before_and_after_estimation(self):
+        graph = cycle_graph(6, probability=0.5)
+        sampler = ComponentSampler(n_samples=50, exact_threshold=0, seed=0)
+        ftree = build_ftree(graph, graph.edge_list(), 0, sampler=sampler)
+        assert ftree.pending_estimation_cost() == graph.n_edges
+        ftree.expected_flow()  # triggers the estimation
+        assert ftree.pending_estimation_cost() == 0
+
+    def test_memoized_component_has_zero_cost(self):
+        graph = cycle_graph(6, probability=0.5)
+        memo = MemoCache()
+        sampler = ComponentSampler(n_samples=50, exact_threshold=0, seed=0, memo=memo)
+        first = build_ftree(graph, graph.edge_list(), 0, sampler=sampler)
+        first.expected_flow()
+        second = build_ftree(graph, graph.edge_list(), 0, sampler=sampler)
+        assert second.pending_estimation_cost() == 0
+
+
+class TestConnectedVertices:
+    def test_connected_vertices_track_insertions(self, small_path):
+        ftree = FTree(small_path, 0)
+        assert ftree.connected_vertices() == {0}
+        ftree.insert_edge(0, 1)
+        assert ftree.connected_vertices() == {0, 1}
+        assert ftree.n_selected == 1
+        assert ftree.selected_edges == {next(iter(small_path.edges()))} or ftree.n_selected == 1
+
+    def test_owner_of_query_is_none(self, small_path):
+        ftree = FTree(small_path, 0)
+        assert ftree.owner_of(0) is None
+        assert ftree.owner_of(3) is None  # not connected yet

@@ -1,0 +1,255 @@
+"""Tests for the incremental F-tree insertion cases (Section 5.4, Figure 4).
+
+These follow the paper's own insertion examples on the Figure-3 replica
+graph and verify the case labels, the resulting component structure and
+— most importantly — that the resulting expected flow always matches
+exact possible-world enumeration.
+"""
+
+import pytest
+
+from repro.exceptions import (
+    DisconnectedInsertionError,
+    DuplicateEdgeError,
+    EdgeNotFoundError,
+)
+from repro.experiments.running_example import (
+    QUERY,
+    ftree_example_graph,
+    ftree_example_insertion_order,
+)
+from repro.ftree.builder import build_ftree
+from repro.ftree.ftree import FTree
+from repro.ftree.sampler import ComponentSampler
+from repro.graph.generators import path_graph
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.reachability.exact import exact_expected_flow
+from repro.types import Edge
+
+
+def exact_sampler() -> ComponentSampler:
+    return ComponentSampler(n_samples=10, exact_threshold=20, seed=0)
+
+
+@pytest.fixture
+def figure3_ftree():
+    """The Figure-3 replica graph with its full edge set inserted incrementally."""
+    graph = ftree_example_graph()
+    ftree = FTree(graph, QUERY, sampler=exact_sampler())
+    for edge in ftree_example_insertion_order():
+        ftree.insert_edge(edge.u, edge.v)
+    ftree.check_invariants()
+    return graph, ftree
+
+
+class TestBasicInsertion:
+    def test_first_edge_creates_root_mono(self):
+        graph = path_graph(3, probability=0.5)
+        ftree = FTree(graph, 0, sampler=exact_sampler())
+        result = ftree.insert_edge(0, 1)
+        assert result.case == "IIa"
+        assert ftree.is_connected_vertex(1)
+        assert ftree.expected_flow() == pytest.approx(0.5)
+
+    def test_edge_not_in_graph_rejected(self):
+        graph = path_graph(3, probability=0.5)
+        ftree = FTree(graph, 0, sampler=exact_sampler())
+        with pytest.raises(EdgeNotFoundError):
+            ftree.insert_edge(0, 2)
+
+    def test_duplicate_insertion_rejected(self):
+        graph = path_graph(3, probability=0.5)
+        ftree = FTree(graph, 0, sampler=exact_sampler())
+        ftree.insert_edge(0, 1)
+        with pytest.raises(DuplicateEdgeError):
+            ftree.insert_edge(1, 0)
+
+    def test_disconnected_insertion_rejected(self):
+        graph = path_graph(4, probability=0.5)
+        ftree = FTree(graph, 0, sampler=exact_sampler())
+        with pytest.raises(DisconnectedInsertionError):
+            ftree.insert_edge(2, 3)
+
+    def test_query_vertex_must_exist(self):
+        graph = path_graph(3, probability=0.5)
+        from repro.exceptions import VertexNotFoundError
+
+        with pytest.raises(VertexNotFoundError):
+            FTree(graph, 99, sampler=exact_sampler())
+
+
+class TestPaperCases:
+    """The four insertion examples of Figure 4 on the Figure-3 replica graph."""
+
+    def _extended_graph(self):
+        graph = ftree_example_graph()
+        graph.add_vertex(17, weight=17.0)
+        graph.add_edge(7, 17, 0.5)   # edge a (Case IIb)
+        graph.add_edge(6, 8, 0.5)    # edge b (Case IIIa)
+        graph.add_edge(14, 15, 0.5)  # edge c (Case IIIb)
+        graph.add_edge(11, 15, 0.5)  # edge d (Case IV)
+        return graph
+
+    def _fresh_ftree(self, graph):
+        ftree = FTree(graph, QUERY, sampler=exact_sampler())
+        for edge in ftree_example_insertion_order():
+            ftree.insert_edge(edge.u, edge.v)
+        return ftree
+
+    def test_case_iib_new_dead_end_below_bi_component(self):
+        graph = self._extended_graph()
+        ftree = self._fresh_ftree(graph)
+        result = ftree.insert_edge(7, 17)
+        assert result.case == "IIb"
+        ftree.check_invariants()
+        owner = ftree.owner_of(17)
+        assert owner.is_mono
+        assert owner.articulation == 7
+        assert owner.vertices == {17}
+
+    def test_case_iiia_edge_inside_bi_component(self):
+        graph = self._extended_graph()
+        ftree = self._fresh_ftree(graph)
+        owner_before = ftree.owner_of(8)
+        result = ftree.insert_edge(6, 8)
+        assert result.case == "IIIa"
+        ftree.check_invariants()
+        assert ftree.owner_of(8).component_id == owner_before.component_id
+        assert Edge(6, 8) in ftree.owner_of(8).edges()
+        # flow still matches exact enumeration of the selected subgraph
+        exact = exact_expected_flow(graph, QUERY, edges=ftree.selected_edges).expected_flow
+        assert ftree.expected_flow() == pytest.approx(exact)
+
+    def test_case_iiib_cycle_in_mono_component(self):
+        graph = self._extended_graph()
+        ftree = self._fresh_ftree(graph)
+        result = ftree.insert_edge(14, 15)
+        assert result.case == "IIIb"
+        ftree.check_invariants()
+        # 14 and 15 become bi-connected towards articulation 13
+        owner_14 = ftree.owner_of(14)
+        owner_15 = ftree.owner_of(15)
+        assert owner_14.component_id == owner_15.component_id
+        assert not owner_14.is_mono
+        assert owner_14.articulation == 13
+        # vertex 16 becomes an orphan mono component anchored at 15
+        owner_16 = ftree.owner_of(16)
+        assert owner_16.is_mono
+        assert owner_16.articulation == 15
+        exact = exact_expected_flow(graph, QUERY, edges=ftree.selected_edges).expected_flow
+        assert ftree.expected_flow() == pytest.approx(exact)
+
+    def test_case_iv_cycle_across_components(self):
+        graph = self._extended_graph()
+        ftree = self._fresh_ftree(graph)
+        result = ftree.insert_edge(11, 15)
+        assert result.case == "IV"
+        ftree.check_invariants()
+        # the new cycle goes 9 .. 10/11 .. 15 .. 13 .. 9: one bi component anchored at 9
+        owner_11 = ftree.owner_of(11)
+        owner_15 = ftree.owner_of(15)
+        owner_13 = ftree.owner_of(13)
+        owner_10 = ftree.owner_of(10)
+        assert owner_11.component_id == owner_15.component_id == owner_13.component_id == owner_10.component_id
+        assert not owner_11.is_mono
+        assert owner_11.articulation == 9
+        # 14 and 16 become orphan mono components anchored at 13 and 15
+        assert ftree.owner_of(14).articulation == 13
+        assert ftree.owner_of(16).articulation == 15
+        # 12 still hangs below 11 (whose component changed) and flow stays exact
+        assert ftree.owner_of(12).articulation == 11
+        exact = exact_expected_flow(graph, QUERY, edges=ftree.selected_edges).expected_flow
+        assert ftree.expected_flow() == pytest.approx(exact)
+
+    def test_all_four_extensions_together(self):
+        graph = self._extended_graph()
+        ftree = self._fresh_ftree(graph)
+        for u, v in [(7, 17), (6, 8), (14, 15), (11, 15)]:
+            ftree.insert_edge(u, v)
+            ftree.check_invariants()
+        # the full subgraph has too many edges for whole-graph enumeration, but
+        # the from-scratch builder with exact component evaluation is exact too
+        rebuilt = build_ftree(graph, ftree.selected_edges, QUERY, sampler=exact_sampler())
+        assert ftree.expected_flow() == pytest.approx(rebuilt.expected_flow())
+
+
+class TestCycleThroughQuery:
+    def test_cycle_closing_at_query_vertex(self):
+        """An edge between two different branches of Q creates a bi component anchored at Q."""
+        graph = UncertainGraph()
+        for vertex in ["Q", "a", "b"]:
+            graph.add_vertex(vertex, weight=1.0)
+        graph.add_edge("Q", "a", 0.5)
+        graph.add_edge("Q", "b", 0.5)
+        graph.add_edge("a", "b", 0.5)
+        ftree = FTree(graph, "Q", sampler=exact_sampler())
+        ftree.insert_edge("Q", "a")
+        ftree.insert_edge("Q", "b")
+        result = ftree.insert_edge("a", "b")
+        # both endpoints live in the root mono component, so this is Case IIIb
+        assert result.case == "IIIb"
+        ftree.check_invariants()
+        owner = ftree.owner_of("a")
+        assert not owner.is_mono
+        assert owner.articulation == "Q"
+        exact = exact_expected_flow(graph, "Q").expected_flow
+        assert ftree.expected_flow() == pytest.approx(exact)
+
+    def test_edge_incident_to_query_closing_a_cycle(self):
+        """Inserting (Q, v) when v is already connected closes a cycle at Q."""
+        graph = path_graph(4, probability=0.5)
+        graph.add_edge(0, 3, 0.5)
+        ftree = FTree(graph, 0, sampler=exact_sampler())
+        for u, v in [(0, 1), (1, 2), (2, 3)]:
+            ftree.insert_edge(u, v)
+        result = ftree.insert_edge(0, 3)
+        assert result.case == "IV"
+        ftree.check_invariants()
+        exact = exact_expected_flow(graph, 0).expected_flow
+        assert ftree.expected_flow() == pytest.approx(exact)
+
+
+class TestFigure3Structure:
+    def test_component_counts(self, figure3_ftree):
+        _, ftree = figure3_ftree
+        components = ftree.components()
+        bi = [c for c in components if not c.is_mono]
+        mono = [c for c in components if c.is_mono]
+        assert len(bi) == 3
+        assert len(mono) == 3
+
+    def test_flow_matches_exact_enumeration(self, figure3_ftree):
+        graph, ftree = figure3_ftree
+        exact = exact_expected_flow(graph, QUERY).expected_flow
+        assert ftree.expected_flow() == pytest.approx(exact)
+
+    def test_structure_matches_example_2(self, figure3_ftree):
+        _, ftree = figure3_ftree
+        # B = ({4, 5}, 3), C = ({7, 8, 9}, 6), D = ({10, 11}, 9)
+        assert ftree.owner_of(4).articulation == 3
+        assert ftree.owner_of(5).component_id == ftree.owner_of(4).component_id
+        assert ftree.owner_of(7).articulation == 6
+        assert ftree.owner_of(9).component_id == ftree.owner_of(7).component_id
+        assert ftree.owner_of(10).articulation == 9
+        # E = ({13, 14, 15, 16}, 9), F = ({12}, 11)
+        assert ftree.owner_of(13).articulation == 9
+        assert ftree.owner_of(13).is_mono
+        assert ftree.owner_of(12).articulation == 11
+
+    def test_clone_is_deep(self, figure3_ftree):
+        graph, ftree = figure3_ftree
+        clone = ftree.clone()
+        graph.add_vertex(99, weight=1.0)
+        graph.add_edge(1, 99, 0.5)
+        clone.insert_edge(1, 99)
+        assert clone.n_selected == ftree.n_selected + 1
+        assert not ftree.is_connected_vertex(99)
+        ftree.check_invariants()
+        clone.check_invariants()
+
+    def test_reachability_to_query_contains_all_connected_vertices(self, figure3_ftree):
+        graph, ftree = figure3_ftree
+        reach = ftree.reachability_to_query()
+        assert set(reach) == set(graph.vertices())
+        assert reach[QUERY] == 1.0
+        assert all(0.0 <= p <= 1.0 for p in reach.values())

@@ -1,0 +1,83 @@
+"""Tests for the memoization cache (FT+M heuristic)."""
+
+import pytest
+
+from repro.ftree.memo import MemoCache, MemoEntry
+from repro.types import Edge
+
+
+def _entry(value: float = 0.5) -> MemoEntry:
+    return MemoEntry(probabilities={"a": value}, n_samples=100, exact=False)
+
+
+class TestMemoCache:
+    def test_put_and_get(self):
+        cache = MemoCache()
+        key = MemoCache.make_key([Edge(0, 1)], 0)
+        cache.put(key, _entry())
+        assert cache.get(key).probabilities == {"a": 0.5}
+
+    def test_miss_returns_none_and_counts(self):
+        cache = MemoCache()
+        assert cache.get(MemoCache.make_key([Edge(0, 1)], 0)) is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_hit_rate(self):
+        cache = MemoCache()
+        key = MemoCache.make_key([Edge(0, 1)], 0)
+        cache.get(key)
+        cache.put(key, _entry())
+        cache.get(key)
+        assert cache.hits == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_key_is_content_based(self):
+        key_a = MemoCache.make_key([Edge(0, 1), Edge(1, 2)], 0)
+        key_b = MemoCache.make_key([Edge(1, 2), Edge(0, 1)], 0)
+        assert key_a == key_b
+        key_c = MemoCache.make_key([Edge(0, 1), Edge(1, 2)], 1)
+        assert key_a != key_c
+
+    def test_lru_eviction(self):
+        cache = MemoCache(max_entries=2)
+        keys = [MemoCache.make_key([Edge(i, i + 1)], i) for i in range(3)]
+        for key in keys:
+            cache.put(key, _entry())
+        assert keys[0] not in cache
+        assert keys[1] in cache and keys[2] in cache
+
+    def test_get_refreshes_lru_order(self):
+        cache = MemoCache(max_entries=2)
+        keys = [MemoCache.make_key([Edge(i, i + 1)], i) for i in range(3)]
+        cache.put(keys[0], _entry())
+        cache.put(keys[1], _entry())
+        cache.get(keys[0])  # refresh key 0
+        cache.put(keys[2], _entry())  # evicts key 1
+        assert keys[0] in cache
+        assert keys[1] not in cache
+
+    def test_clear(self):
+        cache = MemoCache()
+        cache.put(MemoCache.make_key([Edge(0, 1)], 0), _entry())
+        cache.get(MemoCache.make_key([Edge(0, 1)], 0))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            MemoCache(max_entries=0)
+
+    def test_stats(self):
+        cache = MemoCache()
+        cache.put(MemoCache.make_key([Edge(0, 1)], 0), _entry())
+        stats = cache.stats()
+        assert stats["entries"] == 1.0
+        assert "hit_rate" in stats
+
+    def test_unbounded_cache(self):
+        cache = MemoCache(max_entries=None)
+        for i in range(100):
+            cache.put(MemoCache.make_key([Edge(i, i + 1)], i), _entry())
+        assert len(cache) == 100

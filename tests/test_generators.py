@@ -1,0 +1,184 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.algorithms.traversal import is_connected
+from repro.graph.generators import (
+    collaboration_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_road_graph,
+    partitioned_graph,
+    path_graph,
+    preferential_attachment_graph,
+    social_circle_graph,
+    star_graph,
+    wsn_graph,
+    wsn_graph_with_positions,
+)
+from repro.graph.validation import validate_graph
+
+
+def _probabilities_valid(graph):
+    return all(0.0 < graph.probability(e) <= 1.0 for e in graph.edges())
+
+
+class TestErdosRenyi:
+    def test_size_and_connectivity(self):
+        graph = erdos_renyi_graph(50, average_degree=4, seed=0)
+        assert graph.n_vertices == 50
+        assert is_connected(graph)
+
+    def test_average_degree_is_close_to_target(self):
+        graph = erdos_renyi_graph(300, average_degree=6, seed=1)
+        assert graph.average_degree() == pytest.approx(6.0, rel=0.25)
+
+    def test_reproducible(self):
+        a = erdos_renyi_graph(40, seed=3)
+        b = erdos_renyi_graph(40, seed=3)
+        assert a == b
+
+    def test_valid_probabilities_and_weights(self):
+        graph = erdos_renyi_graph(40, seed=2)
+        validate_graph(graph)
+        assert _probabilities_valid(graph)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(0)
+
+    def test_unconnected_variant(self):
+        graph = erdos_renyi_graph(30, average_degree=0.5, seed=4, connect=False)
+        assert graph.n_vertices == 30
+
+
+class TestPartitioned:
+    def test_every_vertex_has_target_degree(self):
+        graph = partitioned_graph(60, degree=6, seed=0)
+        degrees = {graph.degree(v) for v in graph.vertices()}
+        assert degrees == {6}
+
+    def test_diameter_grows_with_size(self):
+        small = partitioned_graph(24, degree=4, seed=0)
+        large = partitioned_graph(120, degree=4, seed=0)
+        # the ring of partitions has n_partitions = 2|V|/degree, so the larger
+        # graph has strictly more partitions and hence a larger diameter
+        assert large.n_vertices > small.n_vertices
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(ValueError):
+            partitioned_graph(30, degree=5)
+
+    def test_validates(self):
+        validate_graph(partitioned_graph(40, degree=4, seed=1))
+
+
+class TestWsn:
+    def test_radius_controls_density(self):
+        sparse = wsn_graph(150, eps=0.05, seed=0)
+        dense = wsn_graph(150, eps=0.15, seed=0)
+        assert dense.n_edges > sparse.n_edges
+
+    def test_positions_are_returned(self):
+        graph, positions = wsn_graph_with_positions(30, eps=0.2, seed=1)
+        assert set(positions) == set(graph.vertices())
+        assert all(0.0 <= x <= 1.0 and 0.0 <= y <= 1.0 for x, y in positions.values())
+
+    def test_edges_respect_radius(self):
+        import math
+
+        graph, positions = wsn_graph_with_positions(80, eps=0.1, seed=2)
+        for edge in graph.edges():
+            ax, ay = positions[edge.u]
+            bx, by = positions[edge.v]
+            assert math.hypot(ax - bx, ay - by) <= 0.1 + 1e-9
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            wsn_graph(10, eps=0.0)
+
+
+class TestGridRoad:
+    def test_grid_size(self):
+        graph = grid_road_graph(5, 6, seed=0)
+        assert graph.n_vertices == 30
+        assert is_connected(graph)
+
+    def test_distance_decay_probabilities(self):
+        graph = grid_road_graph(4, 4, cell_length_m=1000.0, decay_per_m=0.001, perturbation=0.0, seed=0)
+        import math
+
+        for edge in graph.edges():
+            assert graph.probability(edge) == pytest.approx(math.exp(-1.0), rel=1e-6)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_road_graph(0, 5)
+
+
+class TestSocialCircle:
+    def test_close_friend_probabilities_exist(self):
+        graph = social_circle_graph(60, average_degree=12, close_friends=5, seed=0)
+        high = [e for e in graph.edges() if graph.probability(e) >= 0.5]
+        assert len(high) >= 60 * 5 / 2 * 0.5  # at least half of the intended close edges
+
+    def test_validates(self):
+        validate_graph(social_circle_graph(40, seed=1))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            social_circle_graph(2)
+
+
+class TestCollaboration:
+    def test_no_isolated_vertices(self):
+        graph = collaboration_graph(60, seed=0)
+        assert all(graph.degree(v) >= 1 for v in graph.vertices())
+
+    def test_validates(self):
+        validate_graph(collaboration_graph(50, seed=1))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            collaboration_graph(2)
+
+
+class TestPreferentialAttachment:
+    def test_size_and_connectivity(self):
+        graph = preferential_attachment_graph(80, edges_per_vertex=2, seed=0)
+        assert graph.n_vertices == 80
+        assert is_connected(graph)
+
+    def test_heavy_tail(self):
+        graph = preferential_attachment_graph(300, edges_per_vertex=2, seed=1)
+        degrees = sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+        assert degrees[0] >= 3 * (sum(degrees) / len(degrees))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(3, edges_per_vertex=5)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, edges_per_vertex=0)
+
+
+class TestToyGraphs:
+    def test_path(self):
+        graph = path_graph(5, probability=0.3)
+        assert graph.n_edges == 4
+        assert graph.probability(0, 1) == 0.3
+
+    def test_cycle(self):
+        graph = cycle_graph(4)
+        assert graph.n_edges == 4
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        graph = star_graph(6)
+        assert graph.degree(0) == 6
+        assert graph.n_vertices == 7
+
+    def test_complete(self):
+        graph = complete_graph(5)
+        assert graph.n_edges == 10

@@ -1,0 +1,81 @@
+"""Tests for graph serialisation (edge list and JSON)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    read_edge_list,
+    read_json,
+    write_edge_list,
+    write_json,
+)
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+@pytest.fixture
+def sample_graph() -> UncertainGraph:
+    graph = UncertainGraph(name="io-sample")
+    graph.add_vertex(0, weight=1.0)
+    graph.add_vertex(1, weight=2.5)
+    graph.add_vertex(2, weight=1.0)
+    graph.add_vertex(99, weight=7.0)  # isolated vertex
+    graph.add_edge(0, 1, 0.5)
+    graph.add_edge(1, 2, 0.125)
+    return graph
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, sample_graph):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(sample_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == sample_graph
+
+    def test_round_trip_random_graph(self, tmp_path):
+        graph = erdos_renyi_graph(30, seed=5)
+        path = tmp_path / "random.tsv"
+        write_edge_list(graph, path)
+        assert read_edge_list(path) == graph
+
+    def test_malformed_edge_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0 1\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_malformed_weight_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("# 0\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_default_name_is_file_stem(self, tmp_path, sample_graph):
+        path = tmp_path / "mynetwork.tsv"
+        write_edge_list(sample_graph, path)
+        assert read_edge_list(path).name == "mynetwork"
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "sparse.tsv"
+        path.write_text("\n0\t1\t0.5\n\n", encoding="utf-8")
+        graph = read_edge_list(path)
+        assert graph.n_edges == 1
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path, sample_graph):
+        path = tmp_path / "graph.json"
+        write_json(sample_graph, path)
+        loaded = read_json(path)
+        assert loaded == sample_graph
+        assert loaded.name == "io-sample"
+
+    def test_dict_round_trip(self, sample_graph):
+        assert graph_from_dict(graph_to_dict(sample_graph)) == sample_graph
+
+    def test_dict_defaults(self):
+        graph = graph_from_dict({"vertices": [{"id": 0}], "edges": []})
+        assert graph.weight(0) == 1.0
+        assert graph.name == ""

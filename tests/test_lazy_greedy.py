@@ -1,0 +1,71 @@
+"""Tests for the CELF-style lazy greedy selector (library extension)."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_graph, partitioned_graph, path_graph, star_graph
+from repro.reachability.exact import exact_expected_flow
+from repro.selection.ftree_greedy import FTreeGreedySelector
+from repro.selection.lazy_greedy import LazyGreedySelector
+from repro.types import Edge
+
+
+def _lazy(**kwargs) -> LazyGreedySelector:
+    defaults = dict(n_samples=60, exact_threshold=16, seed=0)
+    defaults.update(kwargs)
+    return LazyGreedySelector(**defaults)
+
+
+class TestLazyGreedy:
+    def test_respects_budget(self, random_graph):
+        result = _lazy().select(random_graph, 0, 8)
+        assert result.n_selected == 8
+        assert result.algorithm == "FT+Lazy"
+
+    def test_stops_when_exhausted(self):
+        graph = path_graph(4, probability=0.5)
+        result = _lazy().select(graph, 0, 10)
+        assert result.n_selected == 3
+
+    def test_selected_edges_are_connected_to_query(self, random_graph):
+        result = _lazy().select(random_graph, 0, 10)
+        connected = {0}
+        for edge in result.selected_edges:
+            assert edge.u in connected or edge.v in connected
+            connected.update(edge.endpoints())
+
+    def test_first_pick_is_best_edge(self):
+        graph = star_graph(4, probability=0.3)
+        graph.set_probability(0, 3, 0.95)
+        result = _lazy().select(graph, 0, 1)
+        assert result.selected_edges == [Edge(0, 3)]
+
+    def test_matches_plain_greedy_flow_with_exact_evaluation(self):
+        """With exact component evaluation lazy greedy reaches the same flow as FT greedy."""
+        graph = erdos_renyi_graph(25, average_degree=4, seed=3)
+        budget = 6
+        eager = FTreeGreedySelector(n_samples=60, exact_threshold=16, seed=1).select(
+            graph, 0, budget
+        )
+        lazy = _lazy(seed=1).select(graph, 0, budget)
+        eager_flow = exact_expected_flow(graph, 0, edges=eager.selected_edges).expected_flow
+        lazy_flow = exact_expected_flow(graph, 0, edges=lazy.selected_edges).expected_flow
+        assert lazy_flow == pytest.approx(eager_flow, rel=1e-6)
+
+    def test_uses_fewer_flow_evaluations_than_eager_greedy(self):
+        graph = partitioned_graph(120, degree=6, seed=2)
+        budget = 10
+        lazy = _lazy(exact_threshold=10).select(graph, 0, budget)
+        eager = FTreeGreedySelector(n_samples=60, exact_threshold=10, seed=0).select(
+            graph, 0, budget
+        )
+        eager_probes = sum(iteration.candidates_probed for iteration in eager.iterations)
+        assert lazy.extras["flow_evaluations"] < eager_probes
+
+    def test_flow_monotone_over_iterations(self, random_graph):
+        result = _lazy().select(random_graph, 0, 8)
+        flows = [iteration.flow_after for iteration in result.iterations]
+        assert all(b >= a - 1e-9 for a, b in zip(flows, flows[1:]))
+
+    def test_zero_budget(self, random_graph):
+        result = _lazy().select(random_graph, 0, 0)
+        assert result.n_selected == 0

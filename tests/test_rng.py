@@ -1,0 +1,67 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import derive_seed, ensure_rng, iter_rngs, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_generator_is_passed_through(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+
+class TestSpawnRngs:
+    def test_count_matches(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        assert not np.allclose(children[0].random(5), children[1].random(5))
+
+    def test_reproducible_for_same_seed(self):
+        first = [rng.random(3).tolist() for rng in spawn_rngs(7, 3)]
+        second = [rng.random(3).tolist() for rng in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawning_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(3), 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_none_stays_none(self):
+        assert derive_seed(None, 5) is None
+
+    def test_deterministic(self):
+        assert derive_seed(3, 7) == derive_seed(3, 7)
+
+    def test_salt_changes_result(self):
+        assert derive_seed(3, 1) != derive_seed(3, 2)
+
+    def test_generator_input_gives_int(self):
+        assert isinstance(derive_seed(np.random.default_rng(0), 1), int)
+
+
+def test_iter_rngs_yields_generators():
+    iterator = iter_rngs(0)
+    first = next(iterator)
+    second = next(iterator)
+    assert isinstance(first, np.random.Generator)
+    assert not np.allclose(first.random(4), second.random(4))

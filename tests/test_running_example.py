@@ -1,0 +1,82 @@
+"""Tests for the reproduction of the paper's worked examples (Figures 1 and 3)."""
+
+import pytest
+
+from repro.experiments.running_example import (
+    QUERY,
+    example1_graph,
+    example1_report,
+    ftree_example_graph,
+    ftree_example_insertion_order,
+    ftree_example_report,
+)
+from repro.graph.validation import validate_graph
+from repro.reachability.exact import exact_expected_flow
+
+
+class TestExample1:
+    def test_graph_shape(self):
+        graph = example1_graph()
+        validate_graph(graph)
+        assert graph.n_vertices == 7
+        assert graph.n_edges == 10
+        assert all(graph.weight(v) == 1.0 for v in graph.vertices())
+
+    def test_probability_multiset_matches_equation_1(self):
+        graph = example1_graph()
+        probabilities = sorted(graph.probability(e) for e in graph.edges())
+        assert probabilities == sorted([0.6, 0.5, 0.8, 0.4, 0.4, 0.5, 0.1, 0.3, 0.4, 0.1])
+
+    def test_report_reproduces_qualitative_claims(self):
+        report = example1_report()
+        # activating everything gives the highest flow
+        assert report.flow_all_edges >= report.flow_optimal_five
+        # the Dijkstra MST uses six edges (all 7 vertices reachable)
+        assert report.dijkstra_edges == 6
+        # five well-chosen edges dominate the six-edge spanning tree (Example 1's point)
+        assert report.optimal_dominates_dijkstra
+        assert len(report.optimal_edges) == 5
+
+    def test_flow_values_are_in_paper_ballpark(self):
+        """Shape check: same ordering and rough magnitudes as the paper's 2.51 / 1.59 / 2.02."""
+        report = example1_report()
+        assert 2.0 <= report.flow_all_edges <= 3.2
+        assert 1.2 <= report.flow_dijkstra_tree <= 2.2
+        assert report.flow_dijkstra_tree < report.flow_optimal_five <= report.flow_all_edges
+
+
+class TestFigure3Example:
+    def test_graph_structure(self):
+        graph = ftree_example_graph()
+        validate_graph(graph)
+        assert graph.n_vertices == 17
+        assert graph.weight(7) == 7.0
+        assert graph.weight(QUERY) == 0.0
+
+    def test_insertion_order_is_connected(self):
+        graph = ftree_example_graph()
+        order = ftree_example_insertion_order()
+        assert len(order) == graph.n_edges
+        connected = {QUERY}
+        for edge in order:
+            assert edge.u in connected or edge.v in connected
+            connected.update(edge.endpoints())
+
+    def test_report_exact_agreement(self):
+        report = ftree_example_report()
+        assert report.agreement == pytest.approx(0.0, abs=1e-12)
+        assert report.n_components == 6
+        assert report.n_bi_components == 3
+
+    def test_component_a_flow_matches_example_2(self):
+        """The mono component A = ({1,2,3,6}, Q) contributes 5.75 exactly as in the paper."""
+        graph = ftree_example_graph()
+        component_a_edges = [(QUERY, 2), (QUERY, 3), (QUERY, 6), (2, 1)]
+        flow = exact_expected_flow(graph, QUERY, edges=[
+            e for e in graph.edges() if (e.u, e.v) in component_a_edges or (e.v, e.u) in component_a_edges
+        ]).expected_flow
+        assert flow == pytest.approx(5.75)
+
+    def test_custom_edge_probability(self):
+        graph = ftree_example_graph(edge_probability=0.9)
+        assert all(graph.probability(e) == 0.9 for e in graph.edges())

@@ -1,0 +1,66 @@
+"""Tests for repro.types (Edge canonicalisation and helpers)."""
+
+import pytest
+
+from repro.types import Edge, as_edge, as_edges
+
+
+class TestEdge:
+    def test_orientation_is_irrelevant_for_equality(self):
+        assert Edge(1, 2) == Edge(2, 1)
+
+    def test_orientation_is_irrelevant_for_hash(self):
+        assert hash(Edge(1, 2)) == hash(Edge(2, 1))
+
+    def test_set_membership_is_orientation_insensitive(self):
+        assert Edge(2, 1) in {Edge(1, 2)}
+
+    def test_self_loop_is_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(3, 3)
+
+    def test_other_returns_opposite_endpoint(self):
+        edge = Edge(1, 2)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+
+    def test_other_rejects_non_endpoint(self):
+        with pytest.raises(ValueError):
+            Edge(1, 2).other(5)
+
+    def test_is_incident_to(self):
+        edge = Edge("a", "b")
+        assert edge.is_incident_to("a")
+        assert edge.is_incident_to("b")
+        assert not edge.is_incident_to("c")
+
+    def test_endpoints_returns_canonical_pair(self):
+        assert Edge(5, 2).endpoints() == (2, 5)
+
+    def test_iteration_yields_endpoints(self):
+        assert set(Edge(7, 3)) == {3, 7}
+
+    def test_string_vertices_are_supported(self):
+        assert Edge("z", "a") == Edge("a", "z")
+
+    def test_mixed_type_vertices_are_supported(self):
+        edge_a = Edge("x", 1)
+        edge_b = Edge(1, "x")
+        assert edge_a == edge_b
+        assert hash(edge_a) == hash(edge_b)
+
+    def test_edges_are_orderable(self):
+        assert sorted([Edge(3, 4), Edge(1, 2)]) == [Edge(1, 2), Edge(3, 4)]
+
+
+class TestCoercion:
+    def test_as_edge_passes_through_edges(self):
+        edge = Edge(1, 2)
+        assert as_edge(edge) is edge
+
+    def test_as_edge_converts_tuples(self):
+        assert as_edge((2, 1)) == Edge(1, 2)
+
+    def test_as_edges_converts_mixed_iterables(self):
+        result = as_edges([(1, 2), Edge(3, 4)])
+        assert result == [Edge(1, 2), Edge(3, 4)]

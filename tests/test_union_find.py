@@ -1,0 +1,51 @@
+"""Tests for the union-find structure."""
+
+from repro.algorithms.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(range(4))
+        assert uf.n_sets == 4
+        assert not uf.connected(0, 1)
+
+    def test_union_and_find(self):
+        uf = UnionFind()
+        assert uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert uf.find(1) == uf.find(2)
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert not uf.union("a", "b")
+        assert uf.n_sets == 1
+
+    def test_lazy_element_addition(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        uf.union(4, 5)
+        assert uf.connected(1, 3)
+        assert not uf.connected(1, 4)
+        assert uf.n_sets == 2 + 0  # {1,2,3}, {4,5}
+
+    def test_sets_listing(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        sets = {frozenset(s) for s in uf.sets()}
+        assert frozenset({1, 2}) in sets
+        assert frozenset({3, 4}) in sets
+
+    def test_large_chain_path_compression(self):
+        uf = UnionFind()
+        for i in range(1000):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 1000)
+        assert uf.n_sets == 1

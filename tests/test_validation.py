@@ -1,0 +1,65 @@
+"""Tests for graph validation and statistics."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import erdos_renyi_graph, path_graph
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.graph.validation import GraphStats, graph_stats, validate_graph
+
+
+class TestValidateGraph:
+    def test_valid_graph_passes(self):
+        validate_graph(erdos_renyi_graph(30, seed=0))
+
+    def test_empty_graph_passes(self):
+        validate_graph(UncertainGraph())
+
+    def test_corrupted_adjacency_detected(self):
+        graph = path_graph(3)
+        # simulate internal corruption: drop one direction of the adjacency
+        graph._adjacency[1].discard(0)
+        with pytest.raises(GraphError):
+            validate_graph(graph)
+
+    def test_corrupted_probability_detected(self):
+        graph = path_graph(3)
+        key = next(iter(graph._probabilities))
+        graph._probabilities[key] = 1.7
+        with pytest.raises(GraphError):
+            validate_graph(graph)
+
+    def test_missing_edge_storage_detected(self):
+        graph = path_graph(3)
+        key = next(iter(graph._probabilities))
+        del graph._probabilities[key]
+        with pytest.raises(GraphError):
+            validate_graph(graph)
+
+
+class TestGraphStats:
+    def test_stats_on_path(self):
+        stats = graph_stats(path_graph(4, probability=0.5, weight=2.0))
+        assert stats.n_vertices == 4
+        assert stats.n_edges == 3
+        assert stats.average_degree == pytest.approx(1.5)
+        assert stats.min_degree == 1
+        assert stats.max_degree == 2
+        assert stats.average_probability == pytest.approx(0.5)
+        assert stats.total_weight == pytest.approx(8.0)
+        assert stats.n_certain_edges == 0
+
+    def test_stats_on_empty_graph(self):
+        stats = graph_stats(UncertainGraph())
+        assert stats.n_vertices == 0
+        assert stats.n_edges == 0
+        assert stats.average_degree == 0.0
+
+    def test_as_dict_contains_all_fields(self):
+        stats = graph_stats(path_graph(3))
+        payload = stats.as_dict()
+        assert set(payload) >= {"n_vertices", "n_edges", "average_degree", "total_weight"}
+
+    def test_certain_edge_counting(self):
+        graph = path_graph(3, probability=1.0)
+        assert graph_stats(graph).n_certain_edges == 2
