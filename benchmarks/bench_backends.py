@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Micro-benchmark: naive versus vectorized possible-world sampling.
+
+Times :func:`repro.reachability.monte_carlo.monte_carlo_expected_flow`
+with every registered backend on the Fig. 5 graph-size sweep (Erdős
+graphs, degree 6 — the paper's no-locality scheme) and reports the
+speedup of each backend over the naive per-world-BFS reference.
+
+Unlike the ``bench_fig*.py`` modules this is a plain script (no
+pytest-benchmark dependency) so CI can smoke-run it::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_backends.py --quick    # CI smoke
+
+Both backends draw the identical possible worlds per seed, so the
+printed flow estimates double as a cross-backend consistency check: a
+mismatch means a backend broke the random-stream contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.graph.generators import erdos_renyi_graph
+from repro.reachability.backends import BACKEND_NAMES
+from repro.reachability.monte_carlo import monte_carlo_expected_flow
+
+#: Fig. 5 graph-size sweep (scaled down, degree 6 ⇒ |E| ≈ 3·|V|).
+FULL_SIZES = (150, 300, 600)
+QUICK_SIZES = (60,)
+
+FULL_SAMPLES = 1000
+QUICK_SAMPLES = 100
+
+#: The acceptance case: 1000 samples on the ≥ 500-edge instance.
+TARGET_SPEEDUP = 5.0
+
+
+def time_backend(graph, query, backend: str, n_samples: int, seed: int = 7):
+    """Return (elapsed seconds, flow estimate) for one backend run."""
+    started = time.perf_counter()
+    estimate = monte_carlo_expected_flow(
+        graph, query, n_samples=n_samples, seed=seed, backend=backend
+    )
+    return time.perf_counter() - started, estimate.expected_flow
+
+
+def run(sizes, n_samples: int) -> List[dict]:
+    """Benchmark every backend on every graph size; return report rows."""
+    rows: List[dict] = []
+    for size in sizes:
+        graph = erdos_renyi_graph(size, average_degree=6.0, seed=size)
+        query = 0
+        row = {"n_vertices": graph.n_vertices, "n_edges": graph.n_edges, "n_samples": n_samples}
+        flows = {}
+        for backend in BACKEND_NAMES:
+            elapsed, flow = time_backend(graph, query, backend, n_samples)
+            row[f"{backend}_seconds"] = elapsed
+            flows[backend] = flow
+        baseline = row["naive_seconds"]
+        for backend in BACKEND_NAMES:
+            if backend != "naive":
+                row[f"{backend}_speedup"] = baseline / row[f"{backend}_seconds"]
+        if len(set(flows.values())) != 1:
+            raise SystemExit(f"backends disagree on the same seed: {flows!r}")
+        row["expected_flow"] = flows["naive"]
+        rows.append(row)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny instance + 100 samples (CI smoke test)"
+    )
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    n_samples = QUICK_SAMPLES if args.quick else FULL_SAMPLES
+
+    rows = run(sizes, n_samples)
+    header = f"{'|V|':>6} {'|E|':>6} {'samples':>8} " + " ".join(
+        f"{name + ' [s]':>14}" for name in BACKEND_NAMES
+    ) + f" {'speedup':>9} {'flow':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        speedup = row.get("vectorized_speedup", 1.0)
+        print(
+            f"{row['n_vertices']:>6} {row['n_edges']:>6} {row['n_samples']:>8} "
+            + " ".join(f"{row[f'{name}_seconds']:>14.4f}" for name in BACKEND_NAMES)
+            + f" {speedup:>8.1f}x {row['expected_flow']:>10.3f}"
+        )
+
+    if not args.quick:
+        acceptance = [r for r in rows if r["n_edges"] >= 500 and r["n_samples"] >= 1000]
+        worst = min(r["vectorized_speedup"] for r in acceptance) if acceptance else None
+        if worst is not None:
+            status = "PASS" if worst >= TARGET_SPEEDUP else "FAIL"
+            print(
+                f"\nacceptance (>= {TARGET_SPEEDUP:.0f}x on 1000-sample, >= 500-edge cases): "
+                f"{status} (worst {worst:.1f}x)"
+            )
+            return 0 if worst >= TARGET_SPEEDUP else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

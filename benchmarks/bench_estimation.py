@@ -19,6 +19,7 @@ from repro.experiments.harness import pick_query_vertex
 from repro.ftree.builder import build_ftree
 from repro.ftree.sampler import ComponentSampler
 from repro.graph.generators import erdos_renyi_graph
+from repro.reachability.backends import BACKEND_NAMES
 from repro.reachability.exact import exact_expected_flow
 from repro.reachability.monte_carlo import monte_carlo_expected_flow
 
@@ -30,16 +31,20 @@ def _ablation_graph():
     return graph, pick_query_vertex(graph)
 
 
-def test_whole_graph_monte_carlo_estimation(benchmark):
-    """Time and bias of the Naive whole-graph Monte-Carlo flow estimator."""
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_whole_graph_monte_carlo_estimation(benchmark, backend):
+    """Time and bias of the whole-graph Monte-Carlo flow estimator, per backend."""
     graph, query = _ablation_graph()
     exact = exact_expected_flow(graph, query).expected_flow
 
     def run():
-        return monte_carlo_expected_flow(graph, query, n_samples=N_SAMPLES, seed=1)
+        return monte_carlo_expected_flow(
+            graph, query, n_samples=N_SAMPLES, seed=1, backend=backend
+        )
 
     estimate = benchmark(run)
-    benchmark.extra_info["estimator"] = "whole-graph MC"
+    benchmark.extra_info["estimator"] = f"whole-graph MC [{backend}]"
+    benchmark.extra_info["backend"] = backend
     benchmark.extra_info["exact_flow"] = round(exact, 4)
     benchmark.extra_info["estimate"] = round(estimate.expected_flow, 4)
 

@@ -15,6 +15,17 @@ from repro import make_selector, partitioned_graph
 from repro.experiments.harness import evaluate_flow, pick_query_vertex
 from repro.experiments.reporting import format_table
 
+# Every Monte-Carlo estimate runs on a pluggable possible-world sampling
+# backend: "vectorized" (batched NumPy, the default) or "naive" (one BFS
+# per world, the readable reference).  Both yield bit-for-bit identical
+# estimates for the same seed, so the choice is purely about speed.  Pick
+# one with the `backend` argument of make_selector / evaluate_flow /
+# ComponentSampler, `ExperimentConfig(backend=...)`, or `--backend` on
+# the CLI:
+#
+#     selector = make_selector("FT+M", n_samples=300, seed=7, backend="vectorized")
+#     flow = evaluate_flow(graph, edges, query, backend="naive")
+
 
 def main() -> None:
     # 1. an uncertain graph with a locality structure (the paper's "partitioned"

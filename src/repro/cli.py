@@ -26,6 +26,7 @@ from repro.experiments.harness import evaluate_flow, pick_query_vertex
 from repro.experiments.reporting import format_table, rows_to_csv
 from repro.graph.io import read_json, write_json
 from repro.graph.validation import graph_stats
+from repro.reachability.backends import BACKEND_NAMES, DEFAULT_BACKEND, set_default_backend
 from repro.selection.registry import ALGORITHM_NAMES, make_selector
 from repro.types import Edge
 
@@ -51,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--algorithm", choices=ALGORITHM_NAMES, default="FT+M")
     select.add_argument("--samples", type=int, default=500)
     select.add_argument("--seed", type=int, default=0)
+    select.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=DEFAULT_BACKEND,
+        help="possible-world sampling backend",
+    )
     select.add_argument("--out", type=Path, default=None, help="write selected edges to this file")
 
     evaluate = subparsers.add_parser("evaluate", help="evaluate the expected flow of a selected edge set")
@@ -59,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--edges", type=Path, required=True, help="file with one 'u v' pair per line")
     evaluate.add_argument("--samples", type=int, default=1000)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=DEFAULT_BACKEND,
+        help="possible-world sampling backend",
+    )
 
     experiment = subparsers.add_parser("experiment", help="reproduce one of the paper's figures")
     experiment.add_argument(
@@ -67,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     experiment.add_argument("--quick", action="store_true", help="use the tiny smoke-test configuration")
+    experiment.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="override the possible-world sampling backend",
+    )
     experiment.add_argument(
         "--output-dir", type=Path, default=None,
         help="write one CSV per figure (plus SUMMARY.md) into this directory",
@@ -101,10 +114,13 @@ def _command_generate(args: argparse.Namespace) -> int:
 def _command_select(args: argparse.Namespace) -> int:
     graph = read_json(args.graph)
     query = _parse_vertex(args.query, graph)
-    selector = make_selector(args.algorithm, n_samples=args.samples, seed=args.seed)
+    selector = make_selector(
+        args.algorithm, n_samples=args.samples, seed=args.seed, backend=args.backend
+    )
     result = selector.select(graph, query, args.budget)
     print(f"algorithm      : {result.algorithm}")
     print(f"query vertex   : {query}")
+    print(f"backend        : {args.backend}")
     print(f"edges selected : {result.n_selected} / budget {args.budget}")
     print(f"expected flow  : {result.expected_flow:.4f}")
     print(f"runtime        : {result.elapsed_seconds:.3f}s")
@@ -143,7 +159,9 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     graph = read_json(args.graph)
     query = _parse_vertex(args.query, graph)
     edges = _read_edge_file(args.edges, graph)
-    flow = evaluate_flow(graph, edges, query, n_samples=args.samples, seed=args.seed)
+    flow = evaluate_flow(
+        graph, edges, query, n_samples=args.samples, seed=args.seed, backend=args.backend
+    )
     print(f"query vertex  : {query}")
     print(f"edges         : {len(edges)}")
     print(f"expected flow : {flow:.4f}")
@@ -162,6 +180,18 @@ def _figure_rows(result) -> List[dict]:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
+    if args.backend is not None:
+        # redirect every backend=None resolution, so per-figure default
+        # configurations (and the variance ablation) honour the flag too
+        previous_backend = set_default_backend(args.backend)
+        try:
+            return _run_experiment(args)
+        finally:
+            set_default_backend(previous_backend)
+    return _run_experiment(args)
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
     config = ExperimentConfig.quick() if args.quick else None
     if args.figure == "all" or args.output_dir is not None:
         from repro.experiments.runner import run_all_figures, summary_table

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
 from repro.exceptions import ExperimentError
+from repro.reachability.backends import backend_names
 
 #: The algorithm set of the paper's figures, in plotting order.
 DEFAULT_ALGORITHMS: Tuple[str, ...] = (
@@ -88,6 +89,12 @@ class ExperimentConfig:
         Base random seed; every algorithm/point derives its own stream.
     repetitions:
         Number of independent repetitions averaged per point.
+    backend:
+        Possible-world sampling backend used by every sampling-based
+        selector and evaluator (see
+        :data:`repro.reachability.backends.BACKEND_NAMES`); ``None``
+        defers to the library-wide default
+        (:func:`repro.reachability.backends.get_default_backend`).
     """
 
     n_vertices: int = 300
@@ -100,6 +107,7 @@ class ExperimentConfig:
     seed: Optional[int] = 0
     repetitions: int = 1
     include_query: bool = False
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_vertices <= 0:
@@ -110,6 +118,10 @@ class ExperimentConfig:
             raise ExperimentError("sample sizes must be positive")
         if self.repetitions <= 0:
             raise ExperimentError("repetitions must be positive")
+        if self.backend is not None and self.backend not in backend_names():
+            raise ExperimentError(
+                f"unknown sampling backend {self.backend!r}; expected one of {backend_names()}"
+            )
 
     def scaled(self, factor: float) -> "ExperimentConfig":
         """Return a copy with graph size and budget scaled by ``factor``."""

@@ -17,6 +17,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.ftree.builder import build_ftree
 from repro.ftree.sampler import ComponentSampler
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike, derive_seed
 from repro.selection.base import SelectionResult
 from repro.selection.registry import make_selector
@@ -57,6 +58,7 @@ def evaluate_flow(
     exact_threshold: int = 14,
     seed: SeedLike = 12345,
     include_query: bool = False,
+    backend: BackendLike = None,
 ) -> float:
     """Independently evaluate the expected flow of a selected edge set.
 
@@ -65,7 +67,7 @@ def evaluate_flow(
     same yardstick is applied to every algorithm's output.
     """
     sampler = ComponentSampler(
-        n_samples=n_samples, exact_threshold=exact_threshold, seed=seed
+        n_samples=n_samples, exact_threshold=exact_threshold, seed=seed, backend=backend
     )
     ftree = build_ftree(graph, list(edges), query, sampler=sampler)
     return ftree.expected_flow(include_query=include_query)
@@ -105,6 +107,7 @@ def run_algorithms(
             exact_threshold=config.exact_threshold,
             seed=algorithm_seed,
             include_query=config.include_query,
+            backend=config.backend,
         )
         started = time.perf_counter()
         result: SelectionResult = selector.select(graph, query, budget)
@@ -117,6 +120,7 @@ def run_algorithms(
             exact_threshold=max(12, config.exact_threshold),
             seed=derive_seed(seed, 10_000 + index),
             include_query=config.include_query,
+            backend=config.backend,
         )
         runs.append(
             AlgorithmRun(

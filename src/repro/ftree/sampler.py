@@ -20,7 +20,8 @@ from repro.exceptions import SampleSizeError
 from repro.ftree.memo import MemoCache, MemoEntry
 from repro.graph.possible_world import enumerate_worlds
 from repro.graph.uncertain_graph import UncertainGraph
-from repro.reachability.monte_carlo import monte_carlo_component_reachability
+from repro.reachability.backends import BackendLike
+from repro.reachability.engine import SamplingEngine
 from repro.rng import SeedLike, ensure_rng
 from repro.types import Edge, VertexId
 
@@ -52,6 +53,9 @@ class ComponentSampler:
     memo:
         Optional :class:`MemoCache`; when provided, identical component
         contents are only estimated once (the FT+M heuristic).
+    backend:
+        Possible-world sampling backend name or instance for the
+        Monte-Carlo path (see :mod:`repro.reachability.backends`).
     """
 
     def __init__(
@@ -60,6 +64,7 @@ class ComponentSampler:
         exact_threshold: int = 10,
         seed: SeedLike = None,
         memo: Optional[MemoCache] = None,
+        backend: BackendLike = None,
     ) -> None:
         if n_samples <= 0:
             raise SampleSizeError(n_samples)
@@ -68,6 +73,7 @@ class ComponentSampler:
         self.n_samples = int(n_samples)
         self.exact_threshold = int(exact_threshold)
         self.memo = memo
+        self._engine = SamplingEngine(backend)
         self._rng = ensure_rng(seed)
         #: number of Monte-Carlo estimations actually performed
         self.sampled_components = 0
@@ -145,7 +151,7 @@ class ComponentSampler:
             probabilities = self._exact(graph, articulation, vertices, edges)
             self.exact_components += 1
             return ComponentEstimate(probabilities=probabilities, n_samples=None, exact=True)
-        probabilities = monte_carlo_component_reachability(
+        probabilities = self._engine.component_reachability(
             graph,
             articulation,
             vertices,

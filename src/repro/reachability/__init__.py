@@ -6,6 +6,19 @@ spectrum of estimators:
 
 * :mod:`repro.reachability.monte_carlo` — unbiased whole-graph sampling
   (Lemma 1), the building block of the Naive baseline;
+* :mod:`repro.reachability.engine` — the batched possible-world
+  sampling engine behind every Monte-Carlo estimator: it indexes the
+  (restricted) edge set once, delegates world generation and per-world
+  reachability to a pluggable backend, and aggregates the resulting
+  boolean world/vertex matrix into flow and reachability estimates;
+* :mod:`repro.reachability.backends` — the backend registry.  Built-ins:
+  ``"naive"`` (one Python BFS per world, the behavioural reference) and
+  ``"vectorized"`` (a single ``n_samples x n_edges`` NumPy edge-flip
+  block plus batched label propagation, the fast default).  Both consume
+  the random stream identically, so estimates are bit-for-bit
+  reproducible per seed on either backend; pick one via the ``backend``
+  argument of the estimators, :class:`ComponentSampler`,
+  ``ExperimentConfig`` or the CLI's ``--backend`` flag;
 * :mod:`repro.reachability.exact` — exhaustive possible-world
   enumeration, exact but exponential, used as ground truth for small
   graphs and small bi-connected components;
@@ -17,6 +30,14 @@ spectrum of estimators:
   related-work discussion.
 """
 
+from repro.reachability.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    SamplingBackend,
+    make_backend,
+    register_backend,
+)
+from repro.reachability.engine import SamplingEngine, WorldBatch
 from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
 from repro.reachability.monte_carlo import (
     MonteCarloFlowEstimator,
@@ -50,6 +71,13 @@ from repro.reachability.factoring import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "SamplingBackend",
+    "SamplingEngine",
+    "WorldBatch",
+    "make_backend",
+    "register_backend",
     "FlowEstimate",
     "ReachabilityEstimate",
     "MonteCarloFlowEstimator",

@@ -1,0 +1,130 @@
+"""Registry of possible-world sampling backends.
+
+Mirrors :mod:`repro.selection.registry`: backends are identified by a
+short name so the experiment harness, the CLI, the benchmarks and the
+estimators share one source of truth for their configuration.  Two
+backends ship with the library:
+
+* ``"naive"`` — one Python BFS per sampled world; the behavioural
+  reference (:class:`~repro.reachability.backends.naive.NaiveSamplingBackend`);
+* ``"vectorized"`` — batched NumPy edge flips and label propagation over
+  all worlds at once
+  (:class:`~repro.reachability.backends.vectorized.VectorizedSamplingBackend`).
+
+Both consume the random stream identically, so for the same seed they
+return the same worlds and therefore bit-for-bit identical estimates.
+Third-party backends can be added with :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.reachability.backends.base import SamplingBackend, SamplingProblem
+from repro.reachability.backends.naive import NaiveSamplingBackend
+from repro.reachability.backends.vectorized import VectorizedSamplingBackend
+
+#: Accepted forms of a backend specification: a registry name, an already
+#: constructed backend instance, or ``None`` for the default.
+BackendLike = Union[None, str, SamplingBackend]
+
+#: Backend used when callers do not specify one (the initial process-wide
+#: default; see :func:`set_default_backend` for runtime overrides).
+DEFAULT_BACKEND = "vectorized"
+
+_FACTORIES: Dict[str, Callable[[], SamplingBackend]] = {}
+
+_default_backend = DEFAULT_BACKEND
+
+
+def get_default_backend() -> str:
+    """Return the name every ``backend=None`` call currently resolves to."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> str:
+    """Override the process-wide default backend; returns the previous name.
+
+    Lets entry points (e.g. the CLI's ``experiment --backend`` flag)
+    redirect every unspecified ``backend=None`` resolution — including
+    code paths that build their own default configurations — without
+    threading the choice through each call site.
+    """
+    global _default_backend
+    if backend not in _FACTORIES:
+        raise ValueError(
+            f"unknown sampling backend {backend!r}; expected one of {backend_names()}"
+        )
+    previous = _default_backend
+    _default_backend = backend
+    return previous
+
+
+def register_backend(
+    name: str, factory: Optional[Callable[[], SamplingBackend]] = None, replace: bool = False
+) -> Callable:
+    """Register a backend factory under ``name``.
+
+    Usable directly (``register_backend("mine", MyBackend)``) or as a
+    class decorator (``@register_backend("mine")``).  Re-registering an
+    existing name raises unless ``replace`` is True.
+    """
+
+    def decorator(target: Callable[[], SamplingBackend]) -> Callable[[], SamplingBackend]:
+        if not replace and name in _FACTORIES:
+            raise ValueError(f"sampling backend {name!r} is already registered")
+        _FACTORIES[name] = target
+        return target
+
+    if factory is not None:
+        return decorator(factory)
+    return decorator
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Return the names of all registered backends (registration order)."""
+    return tuple(_FACTORIES)
+
+
+def make_backend(backend: BackendLike = None) -> SamplingBackend:
+    """Resolve a backend name / instance / ``None`` into a backend instance.
+
+    ``None`` resolves to the current default (see
+    :func:`set_default_backend`); instances pass through unchanged so
+    callers can share a configured backend object.
+    """
+    if backend is None:
+        backend = _default_backend
+    if isinstance(backend, str):
+        try:
+            factory = _FACTORIES[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown sampling backend {backend!r}; expected one of {backend_names()}"
+            ) from None
+        return factory()
+    if isinstance(backend, SamplingBackend):
+        return backend
+    raise TypeError(f"cannot interpret {backend!r} as a sampling backend")
+
+
+register_backend("naive", NaiveSamplingBackend)
+register_backend("vectorized", VectorizedSamplingBackend)
+
+#: The built-in backend names, for CLI choices and test parametrization.
+BACKEND_NAMES: Tuple[str, ...] = backend_names()
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendLike",
+    "DEFAULT_BACKEND",
+    "NaiveSamplingBackend",
+    "SamplingBackend",
+    "SamplingProblem",
+    "VectorizedSamplingBackend",
+    "backend_names",
+    "get_default_backend",
+    "make_backend",
+    "register_backend",
+    "set_default_backend",
+]

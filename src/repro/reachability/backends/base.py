@@ -1,0 +1,145 @@
+"""The backend contract of the possible-world sampling engine.
+
+A *backend* answers one question as fast as it can: given an indexed
+sampling problem (contiguous integer vertex ids, parallel edge arrays)
+and a random stream, which vertices are connected to the source vertex
+in each of ``n_samples`` independently drawn possible worlds?
+
+Everything else — restricting to a candidate edge set, translating
+vertex ids, aggregating worlds into flow / reachability estimates — is
+shared code in :mod:`repro.reachability.engine`, so two backends that
+consume the random stream in the same order produce *bit-for-bit*
+identical estimates for the same seed.
+
+The stream contract every backend must honour: exactly
+``n_samples * n_edges`` uniform doubles are consumed, in world-major
+order (all edge flips of world 0, then world 1, …).  An edge survives in
+a world iff its uniform draw is strictly below its probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.types import Edge, VertexId
+
+
+@dataclass(frozen=True, eq=False)
+class SamplingProblem:
+    """An uncertain subgraph re-indexed for array-based world sampling.
+
+    Attributes
+    ----------
+    vertex_ids:
+        Tuple mapping the contiguous index of a vertex back to its
+        original (hashable) id; ``vertex_ids[source]`` is the source.
+    edge_u, edge_v:
+        Parallel integer arrays with the endpoint indices of every edge.
+    probabilities:
+        Parallel float array with the edge existence probabilities.
+    source:
+        Index of the vertex reachability is measured from.
+    """
+
+    vertex_ids: Tuple[VertexId, ...]
+    edge_u: np.ndarray
+    edge_v: np.ndarray
+    probabilities: np.ndarray
+    source: int
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of indexed vertices."""
+        return len(self.vertex_ids)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges."""
+        return len(self.probabilities)
+
+    def index_of(self, vertex: VertexId) -> int:
+        """Return the contiguous index of an original vertex id."""
+        try:
+            return self._index[vertex]
+        except KeyError:
+            raise KeyError(f"vertex {vertex!r} is not part of this sampling problem") from None
+
+    @property
+    def _index(self) -> Dict[VertexId, int]:
+        index = self.__dict__.get("_index_cache")
+        if index is None:
+            index = {vertex: i for i, vertex in enumerate(self.vertex_ids)}
+            object.__setattr__(self, "_index_cache", index)
+        return index
+
+    @classmethod
+    def from_edges(
+        cls,
+        edge_probabilities: Sequence[Tuple[Edge, float]],
+        source: VertexId,
+        extra_vertices: Iterable[VertexId] = (),
+    ) -> "SamplingProblem":
+        """Index the source, every edge endpoint and any extra vertices.
+
+        The source always receives index 0; the remaining vertices are
+        indexed in first-appearance order, which keeps the mapping
+        deterministic for a deterministic edge order.
+        """
+        index: Dict[VertexId, int] = {source: 0}
+        ids: List[VertexId] = [source]
+
+        def intern(vertex: VertexId) -> int:
+            slot = index.get(vertex)
+            if slot is None:
+                slot = len(ids)
+                index[vertex] = slot
+                ids.append(vertex)
+            return slot
+
+        n_edges = len(edge_probabilities)
+        edge_u = np.empty(n_edges, dtype=np.int64)
+        edge_v = np.empty(n_edges, dtype=np.int64)
+        probabilities = np.empty(n_edges, dtype=np.float64)
+        for position, (edge, probability) in enumerate(edge_probabilities):
+            edge_u[position] = intern(edge.u)
+            edge_v[position] = intern(edge.v)
+            probabilities[position] = probability
+        for vertex in extra_vertices:
+            intern(vertex)
+        return cls(
+            vertex_ids=tuple(ids),
+            edge_u=edge_u,
+            edge_v=edge_v,
+            probabilities=probabilities,
+            source=0,
+        )
+
+
+@runtime_checkable
+class SamplingBackend(Protocol):
+    """Protocol every sampling backend implements.
+
+    Backends are stateless beyond configuration; all randomness comes
+    from the generator passed to :meth:`sample_reachability`.
+    """
+
+    #: registry name of the backend (e.g. ``"naive"``, ``"vectorized"``)
+    name: str
+
+    def sample_reachability(
+        self,
+        problem: SamplingProblem,
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample ``n_samples`` worlds and return the reachability matrix.
+
+        Returns a boolean array of shape ``(n_samples, n_vertices)``
+        whose entry ``[s, v]`` is True iff vertex ``v`` is connected to
+        the problem's source vertex in world ``s``.  The source column is
+        always True.
+        """
+        ...

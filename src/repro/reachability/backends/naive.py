@@ -1,0 +1,56 @@
+"""The reference backend: one possible world at a time, BFS per world.
+
+This is the direct translation of the original per-world loop of
+``monte_carlo_expected_flow`` (dict adjacency plus a deque BFS) and
+serves two purposes: it is the behavioural reference the vectorized
+backend is pinned against in the property tests, and it remains a
+readable executable specification of Lemma 1's sampling scheme.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+import numpy as np
+
+from repro.reachability.backends.base import SamplingProblem
+
+
+class NaiveSamplingBackend:
+    """Per-world Python BFS over freshly built adjacency lists."""
+
+    name = "naive"
+
+    def sample_reachability(
+        self,
+        problem: SamplingProblem,
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n_vertices = problem.n_vertices
+        n_edges = problem.n_edges
+        reached = np.zeros((n_samples, n_vertices), dtype=bool)
+        reached[:, problem.source] = True
+        if n_edges == 0:
+            return reached
+        edge_u = problem.edge_u.tolist()
+        edge_v = problem.edge_v.tolist()
+        probabilities = problem.probabilities
+        source = problem.source
+        for sample_index in range(n_samples):
+            survives = rng.random(n_edges) < probabilities
+            adjacency: Dict[int, List[int]] = {}
+            for u, v, alive in zip(edge_u, edge_v, survives):
+                if alive:
+                    adjacency.setdefault(u, []).append(v)
+                    adjacency.setdefault(v, []).append(u)
+            row = reached[sample_index]
+            queue = deque([source])
+            while queue:
+                current = queue.popleft()
+                for neighbor in adjacency.get(current, ()):
+                    if not row[neighbor]:
+                        row[neighbor] = True
+                        queue.append(neighbor)
+        return reached

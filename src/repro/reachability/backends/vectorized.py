@@ -1,0 +1,88 @@
+"""NumPy-vectorized backend: all worlds sampled and traversed at once.
+
+The backend draws the full ``n_samples x n_edges`` edge-flip matrix as a
+single uniform block (consuming the random stream in exactly the same
+order as the naive backend, so estimates match bit-for-bit per seed) and
+then runs a *batched* frontier propagation over bit-packed world masks:
+
+* the sample axis is packed into bytes (``np.packbits``), so each vertex
+  carries a ``ceil(n_samples / 8)``-byte bitset of the worlds that reach
+  it, and each edge a bitset of the worlds it survived in;
+* one relaxation sweep ORs every surviving half-edge's tail bitset into
+  its head bitset for *all* worlds simultaneously — half-edges are
+  pre-sorted by head vertex so the scatter-OR becomes one contiguous
+  ``np.bitwise_or.reduceat`` instead of a slow ``ufunc.at``;
+* sweeps repeat until a fixpoint; the sweep count is bounded by the
+  source's eccentricity in the sampled subgraph, which is small for the
+  paper's random graphs.
+
+A sweep therefore touches ``2 * n_edges * n_samples / 8`` bytes with a
+handful of NumPy calls, instead of one Python BFS per world.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reachability.backends.base import SamplingProblem
+
+#: Ceiling on uniform doubles drawn per block (~32 MB of float64), so the
+#: flip matrix never materializes ``n_samples x n_edges`` at once: worlds
+#: are processed in world-major chunks, which consumes the identical
+#: random stream and therefore preserves the bit-for-bit seed contract.
+_MAX_BLOCK_ELEMENTS = 4_194_304
+
+
+class VectorizedSamplingBackend:
+    """Batched edge flips plus bit-packed batched label propagation."""
+
+    name = "vectorized"
+
+    def sample_reachability(
+        self,
+        problem: SamplingProblem,
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n_vertices = problem.n_vertices
+        n_edges = problem.n_edges
+        reached = np.zeros((n_samples, n_vertices), dtype=bool)
+        reached[:, problem.source] = True
+        if n_edges == 0 or n_samples == 0:
+            return reached
+
+        # undirected edges as directed half-edges, grouped by head vertex
+        tail = np.concatenate([problem.edge_u, problem.edge_v])
+        head = np.concatenate([problem.edge_v, problem.edge_u])
+        order = np.argsort(head, kind="stable")
+        tail = tail[order]
+        head = head[order]
+        group_starts = np.flatnonzero(np.r_[True, head[1:] != head[:-1]])
+        group_heads = head[group_starts]
+
+        chunk = max(1, _MAX_BLOCK_ELEMENTS // n_edges)
+        for start in range(0, n_samples, chunk):
+            stop = min(start + chunk, n_samples)
+            # one block draw == the naive backend's per-world row draws
+            survives = rng.random((stop - start, n_edges)) < problem.probabilities
+
+            # per-edge bitset over the chunk's worlds: alive[e] has bit s
+            # set iff edge e survived in world s (padding bits are zero)
+            alive = np.packbits(survives.T, axis=1)
+            alive = np.concatenate([alive, alive], axis=0)[order]
+
+            # per-vertex bitset of the worlds that reach it; the source's
+            # padding bits are set too but are dropped again at unpack time
+            bits = np.zeros((n_vertices, alive.shape[1]), dtype=np.uint8)
+            bits[problem.source] = 0xFF
+
+            while True:
+                carried = bits[tail] & alive
+                gained = np.bitwise_or.reduceat(carried, group_starts, axis=0)
+                updated = bits[group_heads] | gained
+                if np.array_equal(updated, bits[group_heads]):
+                    break
+                bits[group_heads] = updated
+
+            reached[start:stop] = np.unpackbits(bits, axis=1, count=stop - start).T
+        return reached

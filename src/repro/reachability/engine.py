@@ -1,0 +1,237 @@
+"""The possible-world sampling engine (single entry point for Lemma 1).
+
+Every Monte-Carlo estimator in the library — whole-graph expected flow,
+two-terminal reachability, and the F-tree's per-component reachability —
+is the same computation wearing different aggregation: draw ``n``
+possible worlds, mark which vertices each world connects to a source,
+and average.  The engine factors that shared core out:
+
+1. :class:`repro.reachability.backends.base.SamplingProblem` maps the
+   (restricted) edge set and any extra vertices to contiguous integer
+   ids once;
+2. a pluggable :class:`~repro.reachability.backends.base.SamplingBackend`
+   produces the boolean ``(n_samples, n_vertices)`` reachability matrix
+   (see :mod:`repro.reachability.backends` for the registry);
+3. the engine aggregates that matrix into :class:`FlowEstimate`,
+   :class:`ReachabilityEstimate` or per-vertex probability dicts.
+
+Because the aggregation is shared and all built-in backends consume the
+random stream in the same order, estimates are bit-for-bit identical
+across backends for the same seed — the property the cross-backend test
+harness pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import SampleSizeError, VertexNotFoundError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.reachability.backends import BackendLike, make_backend
+from repro.reachability.backends.base import SamplingBackend, SamplingProblem
+from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
+from repro.rng import SeedLike, ensure_rng
+from repro.types import Edge, VertexId
+
+
+@dataclass(frozen=True, eq=False)
+class WorldBatch:
+    """The result of one engine run: an indexed problem plus its worlds.
+
+    Attributes
+    ----------
+    problem:
+        The indexed sampling problem the batch was drawn for.
+    reached:
+        Boolean matrix of shape ``(n_samples, n_vertices)``; entry
+        ``[s, v]`` is True iff indexed vertex ``v`` is connected to the
+        source in world ``s``.
+    """
+
+    problem: SamplingProblem
+    reached: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of sampled worlds in the batch."""
+        return int(self.reached.shape[0])
+
+    def hit_frequency(self, vertex: VertexId) -> float:
+        """Return the fraction of worlds in which ``vertex`` was reached.
+
+        Vertices outside the indexed problem were never reached (they are
+        not incident to any sampled edge), so they report 0.0.
+        """
+        try:
+            index = self.problem.index_of(vertex)
+        except KeyError:
+            return 0.0
+        return float(self.reached[:, index].sum()) / self.n_samples
+
+
+class SamplingEngine:
+    """Batched possible-world sampler with a pluggable backend.
+
+    Parameters
+    ----------
+    backend:
+        A backend name from :data:`repro.reachability.backends.BACKEND_NAMES`,
+        an already constructed backend instance, or ``None`` for the
+        default (:data:`repro.reachability.backends.DEFAULT_BACKEND`).
+    """
+
+    def __init__(self, backend: BackendLike = None) -> None:
+        self.backend: SamplingBackend = make_backend(backend)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SamplingEngine backend={self.backend.name!r}>"
+
+    # ------------------------------------------------------------------
+    # core: draw a batch of worlds
+    # ------------------------------------------------------------------
+    def sample_worlds(
+        self,
+        graph: UncertainGraph,
+        source: VertexId,
+        n_samples: int,
+        seed: SeedLike = None,
+        edges: Optional[Iterable[Edge]] = None,
+        extra_vertices: Iterable[VertexId] = (),
+    ) -> WorldBatch:
+        """Draw ``n_samples`` worlds and compute reachability from ``source``.
+
+        Parameters
+        ----------
+        graph:
+            The uncertain graph supplying edge probabilities.
+        source:
+            The vertex reachability is measured from.
+        n_samples:
+            Number of independent possible worlds.
+        seed:
+            Seed or generator; the stream contract (world-major edge
+            flips) makes the batch identical across built-in backends.
+        edges:
+            Optional restriction to a subset of edges (the candidate
+            subgraph of the selection algorithms).
+        extra_vertices:
+            Vertices to index even when no restricted edge touches them
+            (e.g. the isolated targets of a component estimate).
+        """
+        if n_samples <= 0:
+            raise SampleSizeError(n_samples)
+        rng = ensure_rng(seed)
+        problem = SamplingProblem.from_edges(
+            _restricted_edges(graph, edges), source, extra_vertices=extra_vertices
+        )
+        reached = self.backend.sample_reachability(problem, int(n_samples), rng)
+        return WorldBatch(problem=problem, reached=reached)
+
+    # ------------------------------------------------------------------
+    # aggregations (the three public estimators route through these)
+    # ------------------------------------------------------------------
+    def expected_flow(
+        self,
+        graph: UncertainGraph,
+        query: VertexId,
+        n_samples: int = 1000,
+        seed: SeedLike = None,
+        edges: Optional[Iterable[Edge]] = None,
+        include_query: bool = False,
+    ) -> FlowEstimate:
+        """Monte-Carlo estimate of ``E[flow(Q, G)]`` (Lemma 1)."""
+        if not graph.has_vertex(query):
+            raise VertexNotFoundError(query)
+        batch = self.sample_worlds(graph, query, n_samples, seed=seed, edges=edges)
+        problem, reached = batch.problem, batch.reached
+        n_samples = batch.n_samples
+
+        weights = graph.weights()
+        weight_vector = np.array(
+            [weights.get(vertex, 0.0) for vertex in problem.vertex_ids], dtype=np.float64
+        )
+        if not include_query:
+            # cheaper than masking the query's (always-True) column out of
+            # the reached matrix: its flow contribution becomes zero here
+            # and its reachability entry is skipped below
+            weight_vector[problem.source] = 0.0
+        flow_samples = reached.astype(np.float64) @ weight_vector
+        hit_counts = reached.sum(axis=0)
+        reachability = {
+            vertex: int(count) / n_samples
+            for index, (vertex, count) in enumerate(zip(problem.vertex_ids, hit_counts))
+            if count and (include_query or index != problem.source)
+        }
+        variance = float(flow_samples.var(ddof=1)) if n_samples > 1 else 0.0
+        return FlowEstimate(
+            expected_flow=float(flow_samples.mean()),
+            reachability=reachability,
+            n_samples=n_samples,
+            variance=variance,
+            include_query=include_query,
+        )
+
+    def pair_reachability(
+        self,
+        graph: UncertainGraph,
+        source: VertexId,
+        target: VertexId,
+        n_samples: int = 1000,
+        seed: SeedLike = None,
+        edges: Optional[Iterable[Edge]] = None,
+    ) -> ReachabilityEstimate:
+        """Monte-Carlo estimate of the two-terminal reachability ``P(source ↔ target)``."""
+        for vertex in (source, target):
+            if not graph.has_vertex(vertex):
+                raise VertexNotFoundError(vertex)
+        if n_samples <= 0:
+            raise SampleSizeError(n_samples)
+        if source == target:
+            return ReachabilityEstimate(
+                probability=1.0, n_samples=n_samples, successes=n_samples
+            )
+        batch = self.sample_worlds(
+            graph, source, n_samples, seed=seed, edges=edges, extra_vertices=(target,)
+        )
+        successes = int(batch.reached[:, batch.problem.index_of(target)].sum())
+        return ReachabilityEstimate(
+            probability=successes / batch.n_samples,
+            n_samples=batch.n_samples,
+            successes=successes,
+        )
+
+    def component_reachability(
+        self,
+        graph: UncertainGraph,
+        anchor: VertexId,
+        vertices: Iterable[VertexId],
+        edges: Iterable[Edge],
+        n_samples: int = 1000,
+        seed: SeedLike = None,
+    ) -> Dict[VertexId, float]:
+        """Estimate ``P(v ↔ anchor)`` for every ``v`` of an edge-induced component."""
+        targets: List[VertexId] = [v for v in vertices if v != anchor]
+        batch = self.sample_worlds(
+            graph,
+            anchor,
+            n_samples,
+            seed=seed,
+            edges=list(edges),
+            extra_vertices=targets,
+        )
+        return {vertex: batch.hit_frequency(vertex) for vertex in targets}
+
+
+def _restricted_edges(
+    graph: UncertainGraph, edges: Optional[Iterable[Edge]]
+) -> List[Tuple[Edge, float]]:
+    """Pair each (optionally restricted) edge with its probability."""
+    if edges is None:
+        return list(graph.probabilities().items())
+    return [(edge, graph.probability(edge)) for edge in edges]
+
+
+__all__ = ["SamplingEngine", "WorldBatch"]

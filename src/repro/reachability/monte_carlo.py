@@ -4,42 +4,28 @@ Implements the unbiased estimator of Lemma 1: drawing possible worlds by
 flipping every edge independently and averaging the per-world information
 flow ``flow(Q, g)``.  The Naive baseline of the evaluation applies this
 estimator to the entire candidate subgraph in every greedy iteration.
+
+All three public estimators are thin wrappers around one shared
+:class:`~repro.reachability.engine.SamplingEngine` entry point, so the
+world-flipping and adjacency/traversal code lives in exactly one place
+and the backend (``"naive"`` per-world BFS or ``"vectorized"`` batched
+NumPy — see :mod:`repro.reachability.backends`) can be chosen per call.
+Estimates are bit-for-bit deterministic per ``(seed, backend)``, and the
+built-in backends share one random-stream contract, so the same seed
+yields the same estimate on either backend.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple
-
-import numpy as np
+from typing import Dict, Iterable, Optional
 
 from repro.exceptions import SampleSizeError, VertexNotFoundError
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.reachability.backends import BackendLike
+from repro.reachability.engine import SamplingEngine
 from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
 from repro.rng import SeedLike, ensure_rng
 from repro.types import Edge, VertexId
-
-
-def _restricted_edges(
-    graph: UncertainGraph, edges: Optional[Iterable[Edge]]
-) -> List[Tuple[Edge, float]]:
-    if edges is None:
-        return list(graph.probabilities().items())
-    return [(edge, graph.probability(edge)) for edge in edges]
-
-
-def _reachable(
-    adjacency: Dict[VertexId, List[VertexId]], source: VertexId
-) -> Set[VertexId]:
-    seen = {source}
-    queue = deque([source])
-    while queue:
-        current = queue.popleft()
-        for neighbor in adjacency.get(current, ()):
-            if neighbor not in seen:
-                seen.add(neighbor)
-                queue.append(neighbor)
-    return seen
 
 
 class MonteCarloFlowEstimator:
@@ -57,6 +43,8 @@ class MonteCarloFlowEstimator:
         Seed or generator used for world sampling.
     include_query:
         Whether the query vertex's own weight counts towards the flow.
+    backend:
+        Sampling backend name or instance (default: the registry default).
     """
 
     def __init__(
@@ -66,6 +54,7 @@ class MonteCarloFlowEstimator:
         n_samples: int = 1000,
         seed: SeedLike = None,
         include_query: bool = False,
+        backend: BackendLike = None,
     ) -> None:
         if not graph.has_vertex(query):
             raise VertexNotFoundError(query)
@@ -75,11 +64,12 @@ class MonteCarloFlowEstimator:
         self.query = query
         self.n_samples = int(n_samples)
         self.include_query = include_query
+        self._engine = SamplingEngine(backend)
         self._rng = ensure_rng(seed)
 
     def estimate(self, edges: Optional[Iterable[Edge]] = None) -> FlowEstimate:
         """Estimate the expected flow of the subgraph restricted to ``edges``."""
-        return monte_carlo_expected_flow(
+        return self._engine.expected_flow(
             self.graph,
             self.query,
             n_samples=self.n_samples,
@@ -96,6 +86,7 @@ def monte_carlo_expected_flow(
     seed: SeedLike = None,
     edges: Optional[Iterable[Edge]] = None,
     include_query: bool = False,
+    backend: BackendLike = None,
 ) -> FlowEstimate:
     """Monte-Carlo estimate of ``E[flow(Q, G)]`` (Lemma 1).
 
@@ -115,6 +106,9 @@ def monte_carlo_expected_flow(
         unchanged.
     include_query:
         Whether ``W(Q)`` counts towards the flow.
+    backend:
+        Sampling backend name or instance (see
+        :data:`repro.reachability.backends.BACKEND_NAMES`).
 
     Returns
     -------
@@ -122,45 +116,12 @@ def monte_carlo_expected_flow(
         Point estimate together with per-vertex reachability frequencies
         and the sample variance of the per-world flow.
     """
-    if not graph.has_vertex(query):
-        raise VertexNotFoundError(query)
-    if n_samples <= 0:
-        raise SampleSizeError(n_samples)
-    rng = ensure_rng(seed)
-    edge_probabilities = _restricted_edges(graph, edges)
-    weights = graph.weights()
-
-    hit_counts: Dict[VertexId, int] = {}
-    flow_samples = np.empty(n_samples, dtype=float)
-    n_edges = len(edge_probabilities)
-    probabilities = np.array([p for _, p in edge_probabilities], dtype=float)
-
-    for sample_index in range(n_samples):
-        if n_edges:
-            survives = rng.random(n_edges) < probabilities
-        else:
-            survives = ()
-        adjacency: Dict[VertexId, List[VertexId]] = {}
-        for (edge, _), alive in zip(edge_probabilities, survives):
-            if alive:
-                adjacency.setdefault(edge.u, []).append(edge.v)
-                adjacency.setdefault(edge.v, []).append(edge.u)
-        reached = _reachable(adjacency, query)
-        flow = 0.0
-        for vertex in reached:
-            if vertex == query and not include_query:
-                continue
-            hit_counts[vertex] = hit_counts.get(vertex, 0) + 1
-            flow += weights.get(vertex, 0.0)
-        flow_samples[sample_index] = flow
-
-    reachability = {vertex: count / n_samples for vertex, count in hit_counts.items()}
-    variance = float(flow_samples.var(ddof=1)) if n_samples > 1 else 0.0
-    return FlowEstimate(
-        expected_flow=float(flow_samples.mean()),
-        reachability=reachability,
+    return SamplingEngine(backend).expected_flow(
+        graph,
+        query,
         n_samples=n_samples,
-        variance=variance,
+        seed=seed,
+        edges=edges,
         include_query=include_query,
     )
 
@@ -172,34 +133,11 @@ def monte_carlo_reachability(
     n_samples: int = 1000,
     seed: SeedLike = None,
     edges: Optional[Iterable[Edge]] = None,
+    backend: BackendLike = None,
 ) -> ReachabilityEstimate:
     """Monte-Carlo estimate of the two-terminal reachability ``P(source ↔ target)``."""
-    if not graph.has_vertex(source):
-        raise VertexNotFoundError(source)
-    if not graph.has_vertex(target):
-        raise VertexNotFoundError(target)
-    if n_samples <= 0:
-        raise SampleSizeError(n_samples)
-    if source == target:
-        return ReachabilityEstimate(probability=1.0, n_samples=n_samples, successes=n_samples)
-    rng = ensure_rng(seed)
-    edge_probabilities = _restricted_edges(graph, edges)
-    probabilities = np.array([p for _, p in edge_probabilities], dtype=float)
-    successes = 0
-    for _ in range(n_samples):
-        if len(edge_probabilities):
-            survives = rng.random(len(edge_probabilities)) < probabilities
-        else:
-            survives = ()
-        adjacency: Dict[VertexId, List[VertexId]] = {}
-        for (edge, _), alive in zip(edge_probabilities, survives):
-            if alive:
-                adjacency.setdefault(edge.u, []).append(edge.v)
-                adjacency.setdefault(edge.v, []).append(edge.u)
-        if target in _reachable(adjacency, source):
-            successes += 1
-    return ReachabilityEstimate(
-        probability=successes / n_samples, n_samples=n_samples, successes=successes
+    return SamplingEngine(backend).pair_reachability(
+        graph, source, target, n_samples=n_samples, seed=seed, edges=edges
     )
 
 
@@ -210,6 +148,7 @@ def monte_carlo_component_reachability(
     edges: Iterable[Edge],
     n_samples: int = 1000,
     seed: SeedLike = None,
+    backend: BackendLike = None,
 ) -> Dict[VertexId, float]:
     """Estimate ``P(v ↔ anchor)`` for every ``v`` within a small edge-induced component.
 
@@ -217,25 +156,6 @@ def monte_carlo_component_reachability(
     component's edges are flipped, and reachability is evaluated towards
     the component's articulation vertex.
     """
-    if n_samples <= 0:
-        raise SampleSizeError(n_samples)
-    rng = ensure_rng(seed)
-    edge_list = [(edge, graph.probability(edge)) for edge in edges]
-    probabilities = np.array([p for _, p in edge_list], dtype=float)
-    targets = [v for v in vertices if v != anchor]
-    counts = {vertex: 0 for vertex in targets}
-    for _ in range(n_samples):
-        if edge_list:
-            survives = rng.random(len(edge_list)) < probabilities
-        else:
-            survives = ()
-        adjacency: Dict[VertexId, List[VertexId]] = {}
-        for (edge, _), alive in zip(edge_list, survives):
-            if alive:
-                adjacency.setdefault(edge.u, []).append(edge.v)
-                adjacency.setdefault(edge.v, []).append(edge.u)
-        reached = _reachable(adjacency, anchor)
-        for vertex in targets:
-            if vertex in reached:
-                counts[vertex] += 1
-    return {vertex: counts[vertex] / n_samples for vertex in targets}
+    return SamplingEngine(backend).component_reachability(
+        graph, anchor, vertices, edges, n_samples=n_samples, seed=seed
+    )

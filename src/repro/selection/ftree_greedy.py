@@ -26,6 +26,7 @@ from repro.ftree.ftree import FTree
 from repro.ftree.memo import MemoCache
 from repro.ftree.sampler import ComponentSampler
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike, derive_seed, ensure_rng
 from repro.selection.base import EdgeSelector, SelectionIteration, SelectionResult, Stopwatch
 from repro.selection.candidates import CandidateManager
@@ -60,6 +61,9 @@ class FTreeGreedySelector(EdgeSelector):
         Random seed or generator.
     include_query:
         Whether the query vertex's own weight counts towards the flow.
+    backend:
+        Possible-world sampling backend name or instance used by the
+        component samplers (see :mod:`repro.reachability.backends`).
     """
 
     def __init__(
@@ -73,6 +77,7 @@ class FTreeGreedySelector(EdgeSelector):
         alpha: float = 0.01,
         seed: SeedLike = None,
         include_query: bool = False,
+        backend: BackendLike = None,
     ) -> None:
         if delay_base <= 1.0:
             raise ValueError(f"delay_base must be greater than 1, got {delay_base!r}")
@@ -84,6 +89,7 @@ class FTreeGreedySelector(EdgeSelector):
         self.delay_base = delay_base
         self.alpha = alpha
         self.include_query = include_query
+        self.backend = backend
         self._seed = seed
         self.name = self._build_name()
 
@@ -108,12 +114,14 @@ class FTreeGreedySelector(EdgeSelector):
             exact_threshold=self.exact_threshold,
             seed=rng,
             memo=memo,
+            backend=self.backend,
         )
         screening_sampler = ComponentSampler(
             n_samples=_SCREENING_SAMPLES,
             exact_threshold=self.exact_threshold,
             seed=derive_seed(self._seed, 1) if self._seed is not None else None,
             memo=None,
+            backend=self.backend,
         )
         ftree = FTree(graph, query, sampler=sampler)
         candidates = CandidateManager(graph, query)

@@ -14,7 +14,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.graph.uncertain_graph import UncertainGraph
-from repro.reachability.monte_carlo import monte_carlo_expected_flow
+from repro.reachability.backends import BackendLike
+from repro.reachability.engine import SamplingEngine
 from repro.rng import SeedLike, ensure_rng
 from repro.selection.base import EdgeSelector, SelectionIteration, SelectionResult, Stopwatch
 from repro.selection.candidates import CandidateManager
@@ -32,6 +33,9 @@ class NaiveGreedySelector(EdgeSelector):
         Random seed or generator.
     include_query:
         Whether the query vertex's own weight counts towards the flow.
+    backend:
+        Possible-world sampling backend name or instance (see
+        :mod:`repro.reachability.backends`).
     """
 
     name = "Naive"
@@ -41,9 +45,11 @@ class NaiveGreedySelector(EdgeSelector):
         n_samples: int = 1000,
         seed: SeedLike = None,
         include_query: bool = False,
+        backend: BackendLike = None,
     ) -> None:
         self.n_samples = n_samples
         self.include_query = include_query
+        self._engine = SamplingEngine(backend)
         self._rng = ensure_rng(seed)
 
     def select(self, graph: UncertainGraph, query: VertexId, budget: int) -> SelectionResult:
@@ -63,7 +69,7 @@ class NaiveGreedySelector(EdgeSelector):
             probed = 0
             for edge in candidates:
                 probed += 1
-                estimate = monte_carlo_expected_flow(
+                estimate = self._engine.expected_flow(
                     graph,
                     query,
                     n_samples=self.n_samples,

@@ -25,6 +25,7 @@ from repro.ftree.ftree import FTree
 from repro.ftree.memo import MemoCache
 from repro.ftree.sampler import ComponentSampler
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike, ensure_rng
 from repro.selection.base import EdgeSelector, SelectionIteration, SelectionResult, Stopwatch
 from repro.selection.candidates import CandidateManager
@@ -47,6 +48,9 @@ class LazyGreedySelector(EdgeSelector):
         Random seed or generator.
     include_query:
         Whether the query vertex's own weight counts towards the flow.
+    backend:
+        Possible-world sampling backend name or instance (see
+        :mod:`repro.reachability.backends`).
     """
 
     name = "FT+Lazy"
@@ -58,11 +62,13 @@ class LazyGreedySelector(EdgeSelector):
         memoize: bool = True,
         seed: SeedLike = None,
         include_query: bool = False,
+        backend: BackendLike = None,
     ) -> None:
         self.n_samples = n_samples
         self.exact_threshold = exact_threshold
         self.memoize = memoize
         self.include_query = include_query
+        self.backend = backend
         self._seed = seed
 
     def select(self, graph: UncertainGraph, query: VertexId, budget: int) -> SelectionResult:
@@ -75,6 +81,7 @@ class LazyGreedySelector(EdgeSelector):
             exact_threshold=self.exact_threshold,
             seed=rng,
             memo=memo,
+            backend=self.backend,
         )
         ftree = FTree(graph, query, sampler=sampler)
         candidates = CandidateManager(graph, query)

@@ -13,6 +13,7 @@ from typing import List
 from repro.ftree.builder import build_ftree
 from repro.ftree.sampler import ComponentSampler
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike, ensure_rng
 from repro.selection.base import EdgeSelector, SelectionIteration, SelectionResult, Stopwatch
 from repro.selection.candidates import CandidateManager
@@ -30,10 +31,12 @@ class RandomSelector(EdgeSelector):
         exact_threshold: int = 10,
         seed: SeedLike = None,
         include_query: bool = False,
+        backend: BackendLike = None,
     ) -> None:
         self.n_samples = n_samples
         self.exact_threshold = exact_threshold
         self.include_query = include_query
+        self.backend = backend
         self._rng = ensure_rng(seed)
 
     def select(self, graph: UncertainGraph, query: VertexId, budget: int) -> SelectionResult:
@@ -53,7 +56,10 @@ class RandomSelector(EdgeSelector):
                 SelectionIteration(index=index, edge=edge, gain=0.0, flow_after=0.0)
             )
         sampler = ComponentSampler(
-            n_samples=self.n_samples, exact_threshold=self.exact_threshold, seed=self._rng
+            n_samples=self.n_samples,
+            exact_threshold=self.exact_threshold,
+            seed=self._rng,
+            backend=self.backend,
         )
         ftree = build_ftree(graph, selected, query, sampler=sampler)
         flow = ftree.expected_flow(include_query=self.include_query)

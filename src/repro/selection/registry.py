@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike
 from repro.selection.base import EdgeSelector
 from repro.selection.dijkstra_tree import DijkstraSelector
@@ -37,6 +38,7 @@ def make_selector(
     alpha: float = 0.01,
     seed: SeedLike = None,
     include_query: bool = False,
+    backend: BackendLike = None,
 ) -> EdgeSelector:
     """Instantiate one of the paper's algorithms by name.
 
@@ -57,6 +59,9 @@ def make_selector(
         Random seed or generator.
     include_query:
         Whether the query vertex's own weight counts towards the flow.
+    backend:
+        Possible-world sampling backend used by the sampling-based
+        selectors (see :data:`repro.reachability.backends.BACKEND_NAMES`).
     """
     flags = _FT_FLAGS.get(name)
     if flags is not None:
@@ -71,9 +76,12 @@ def make_selector(
             alpha=alpha,
             seed=seed,
             include_query=include_query,
+            backend=backend,
         )
     if name == "Naive":
-        return NaiveGreedySelector(n_samples=n_samples, seed=seed, include_query=include_query)
+        return NaiveGreedySelector(
+            n_samples=n_samples, seed=seed, include_query=include_query, backend=backend
+        )
     if name == "Dijkstra":
         return DijkstraSelector(include_query=include_query)
     if name == "Random":
@@ -82,6 +90,7 @@ def make_selector(
             exact_threshold=exact_threshold,
             seed=seed,
             include_query=include_query,
+            backend=backend,
         )
     raise ValueError(f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}")
 

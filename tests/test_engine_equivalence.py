@@ -1,0 +1,174 @@
+"""Property-based cross-backend tests for the possible-world sampling engine.
+
+The vectorized backend is pinned against two references on random small
+graphs from :mod:`repro.graph.generators`:
+
+* the naive (per-world BFS) backend — *bit-for-bit* for the same seed,
+  because both backends share one random-stream contract and the engine
+  aggregates their identical world batches identically;
+* :func:`repro.graph.possible_world.enumerate_worlds` ground truth (via
+  the exact estimators) — within a CLT tolerance, because a Monte-Carlo
+  average over ``n`` worlds deviates from the true expectation by a few
+  standard errors at most.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import erdos_renyi_graph
+from repro.reachability.backends import BACKEND_NAMES
+from repro.reachability.engine import SamplingEngine
+from repro.reachability.exact import (
+    exact_expected_flow,
+    exact_reachability,
+    exact_reachability_all,
+)
+from repro.reachability.monte_carlo import (
+    monte_carlo_component_reachability,
+    monte_carlo_expected_flow,
+    monte_carlo_reachability,
+)
+
+#: Shared hypothesis settings: deterministic examples, no deadline (the
+#: CLT comparisons enumerate up to 2^10 possible worlds per example).
+PROPERTY_SETTINGS = dict(max_examples=20, deadline=None, derandomize=True)
+
+#: Sigma multiplier for CLT tolerances; 6 standard errors plus a small
+#: absolute floor keeps the statistical assertions flake-free while still
+#: catching any systematic bias.
+SIGMA = 6.0
+FLOOR = 0.05
+
+small_graphs = st.builds(
+    erdos_renyi_graph,
+    n_vertices=st.integers(min_value=3, max_value=8),
+    average_degree=st.floats(min_value=1.0, max_value=2.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+def _query(graph):
+    """A deterministic query vertex: vertex 0 always exists in generators."""
+    return 0
+
+
+# ----------------------------------------------------------------------
+# backend-vs-backend: exact agreement for the same seed
+# ----------------------------------------------------------------------
+@settings(**PROPERTY_SETTINGS)
+@given(graph=small_graphs, seed=st.integers(min_value=0, max_value=10_000))
+def test_flow_estimates_bitwise_equal_across_backends(graph, seed):
+    naive = monte_carlo_expected_flow(graph, _query(graph), n_samples=64, seed=seed, backend="naive")
+    fast = monte_carlo_expected_flow(
+        graph, _query(graph), n_samples=64, seed=seed, backend="vectorized"
+    )
+    assert naive.expected_flow == fast.expected_flow
+    assert naive.reachability == fast.reachability
+    assert naive.variance == fast.variance
+    assert naive.n_samples == fast.n_samples
+
+
+@settings(**PROPERTY_SETTINGS)
+@given(graph=small_graphs, seed=st.integers(min_value=0, max_value=10_000))
+def test_world_batches_identical_across_backends(graph, seed):
+    """The per-world reachability matrices themselves must match exactly."""
+    batches = [
+        SamplingEngine(name).sample_worlds(graph, _query(graph), n_samples=32, seed=seed)
+        for name in BACKEND_NAMES
+    ]
+    reference = batches[0]
+    for batch in batches[1:]:
+        assert batch.problem.vertex_ids == reference.problem.vertex_ids
+        assert np.array_equal(batch.reached, reference.reached)
+
+
+@settings(**PROPERTY_SETTINGS)
+@given(
+    graph=small_graphs,
+    seed=st.integers(min_value=0, max_value=10_000),
+    keep=st.integers(min_value=0, max_value=100),
+)
+def test_restricted_edge_sets_agree_across_backends(graph, seed, keep):
+    """Candidate-subgraph restriction (the selection hot path) stays pinned."""
+    edges = graph.edge_list()[: keep % (graph.n_edges + 1)]
+    naive = monte_carlo_expected_flow(
+        graph, _query(graph), n_samples=48, seed=seed, edges=edges, backend="naive"
+    )
+    fast = monte_carlo_expected_flow(
+        graph, _query(graph), n_samples=48, seed=seed, edges=edges, backend="vectorized"
+    )
+    assert naive.expected_flow == fast.expected_flow
+    assert naive.reachability == fast.reachability
+
+
+@settings(**PROPERTY_SETTINGS)
+@given(graph=small_graphs, seed_a=st.integers(0, 10_000), seed_b=st.integers(0, 10_000))
+def test_backends_agree_within_clt_for_independent_seeds(graph, seed_a, seed_b):
+    """Two independent streams must still estimate the same quantity."""
+    naive = monte_carlo_expected_flow(
+        graph, _query(graph), n_samples=1200, seed=seed_a, backend="naive"
+    )
+    fast = monte_carlo_expected_flow(
+        graph, _query(graph), n_samples=1200, seed=seed_b, backend="vectorized"
+    )
+    tolerance = SIGMA * ((naive.standard_error or 0.0) + (fast.standard_error or 0.0)) + FLOOR
+    assert naive.expected_flow == pytest.approx(fast.expected_flow, abs=tolerance)
+
+
+# ----------------------------------------------------------------------
+# backend-vs-enumeration: CLT agreement with exact ground truth
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(graph=small_graphs, seed=st.integers(min_value=0, max_value=10_000))
+def test_expected_flow_matches_enumeration(backend, graph, seed):
+    exact = exact_expected_flow(graph, _query(graph)).expected_flow
+    estimate = monte_carlo_expected_flow(
+        graph, _query(graph), n_samples=1500, seed=seed, backend=backend
+    )
+    tolerance = SIGMA * (estimate.standard_error or 0.0) + FLOOR
+    assert estimate.expected_flow == pytest.approx(exact, abs=tolerance)
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(graph=small_graphs, seed=st.integers(min_value=0, max_value=10_000))
+def test_pair_reachability_matches_enumeration(backend, graph, seed):
+    target = graph.n_vertices - 1
+    exact = exact_reachability(graph, _query(graph), target).probability
+    estimate = monte_carlo_reachability(
+        graph, _query(graph), target, n_samples=1500, seed=seed, backend=backend
+    )
+    standard_error = (exact * (1.0 - exact) / estimate.n_samples) ** 0.5
+    assert estimate.probability == pytest.approx(exact, abs=SIGMA * standard_error + FLOOR)
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(graph=small_graphs, seed=st.integers(min_value=0, max_value=10_000))
+def test_component_reachability_matches_enumeration(backend, graph, seed):
+    anchor = _query(graph)
+    vertices = list(graph.vertices())
+    estimate = monte_carlo_component_reachability(
+        graph, anchor, vertices, graph.edge_list(), n_samples=1500, seed=seed, backend=backend
+    )
+    exact = exact_reachability_all(graph, anchor)
+    for vertex, probability in estimate.items():
+        truth = exact.get(vertex, 0.0)
+        standard_error = (truth * (1.0 - truth) / 1500) ** 0.5
+        assert probability == pytest.approx(truth, abs=SIGMA * standard_error + FLOOR)
+
+
+# ----------------------------------------------------------------------
+# per-world sanity: the reachability matrix is a valid BFS closure
+# ----------------------------------------------------------------------
+@settings(**PROPERTY_SETTINGS)
+@given(graph=small_graphs, seed=st.integers(min_value=0, max_value=10_000))
+def test_reached_matrix_source_column_and_bounds(graph, seed):
+    batch = SamplingEngine("vectorized").sample_worlds(graph, _query(graph), 16, seed=seed)
+    assert batch.reached.dtype == np.bool_
+    assert batch.reached.shape == (16, batch.problem.n_vertices)
+    assert batch.reached[:, batch.problem.source].all()

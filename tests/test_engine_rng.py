@@ -1,0 +1,222 @@
+"""RNG-contract and registry tests for the sampling engine.
+
+Statistical regression tests pinning the reproducibility contract after
+the engine rewiring: the same seed must yield the identical
+:class:`FlowEstimate` (flow, per-vertex reachability, variance) across
+repeated runs for every backend, :class:`ComponentSampler` draws must
+stay reproducible, and the backend registry must behave like the
+selection registry it mirrors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError, SampleSizeError, VertexNotFoundError
+from repro.experiments.config import ExperimentConfig
+from repro.ftree.sampler import ComponentSampler
+from repro.graph.generators import cycle_graph, erdos_renyi_graph
+from repro.reachability.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    NaiveSamplingBackend,
+    VectorizedSamplingBackend,
+    get_default_backend,
+    make_backend,
+    register_backend,
+    set_default_backend,
+)
+from repro.reachability.backends import _FACTORIES
+from repro.reachability.backends import vectorized as vectorized_module
+from repro.reachability.engine import SamplingEngine
+from repro.reachability.monte_carlo import (
+    MonteCarloFlowEstimator,
+    monte_carlo_component_reachability,
+    monte_carlo_expected_flow,
+    monte_carlo_reachability,
+)
+
+
+@pytest.fixture
+def medium_graph():
+    """A reproducible 30-vertex graph, large enough to exercise batching."""
+    return erdos_renyi_graph(30, average_degree=4.0, seed=5)
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+class TestSeedDeterminism:
+    def test_flow_estimate_identical_across_runs(self, medium_graph, backend):
+        first = monte_carlo_expected_flow(
+            medium_graph, 0, n_samples=120, seed=42, backend=backend
+        )
+        second = monte_carlo_expected_flow(
+            medium_graph, 0, n_samples=120, seed=42, backend=backend
+        )
+        assert first.expected_flow == second.expected_flow
+        assert first.reachability == second.reachability
+        assert first.variance == second.variance
+
+    def test_pair_reachability_identical_across_runs(self, medium_graph, backend):
+        first = monte_carlo_reachability(
+            medium_graph, 0, 7, n_samples=200, seed=3, backend=backend
+        )
+        second = monte_carlo_reachability(
+            medium_graph, 0, 7, n_samples=200, seed=3, backend=backend
+        )
+        assert first == second
+
+    def test_component_reachability_identical_across_runs(self, medium_graph, backend):
+        kwargs = dict(n_samples=150, seed=11, backend=backend)
+        first = monte_carlo_component_reachability(
+            medium_graph, 0, [1, 2, 3], medium_graph.edge_list(), **kwargs
+        )
+        second = monte_carlo_component_reachability(
+            medium_graph, 0, [1, 2, 3], medium_graph.edge_list(), **kwargs
+        )
+        assert first == second
+
+    def test_estimator_class_streams_are_reproducible(self, medium_graph, backend):
+        """Two estimators seeded identically replay the same estimate sequence."""
+        left = MonteCarloFlowEstimator(medium_graph, 0, n_samples=60, seed=8, backend=backend)
+        right = MonteCarloFlowEstimator(medium_graph, 0, n_samples=60, seed=8, backend=backend)
+        for _ in range(3):
+            assert left.estimate().expected_flow == right.estimate().expected_flow
+
+    def test_generator_seed_advances_the_stream(self, medium_graph, backend):
+        """Consecutive estimates from one estimator use fresh worlds."""
+        estimator = MonteCarloFlowEstimator(
+            medium_graph, 0, n_samples=60, seed=8, backend=backend
+        )
+        assert estimator.estimate().reachability != estimator.estimate().reachability
+
+
+class TestComponentSamplerRewiring:
+    def test_sampler_draws_reproducible_per_seed(self):
+        graph = cycle_graph(9, probability=0.5)
+        vertices = [v for v in graph.vertices() if v != 0]
+        estimates = [
+            ComponentSampler(n_samples=400, exact_threshold=0, seed=21).reachability(
+                graph, 0, vertices, graph.edge_list()
+            )
+            for _ in range(2)
+        ]
+        assert estimates[0].probabilities == estimates[1].probabilities
+        assert not estimates[0].exact
+
+    def test_sampler_backends_bitwise_equal_per_seed(self):
+        graph = cycle_graph(9, probability=0.5)
+        vertices = [v for v in graph.vertices() if v != 0]
+        per_backend = [
+            ComponentSampler(
+                n_samples=400, exact_threshold=0, seed=21, backend=backend
+            ).reachability(graph, 0, vertices, graph.edge_list())
+            for backend in BACKEND_NAMES
+        ]
+        reference = per_backend[0].probabilities
+        for estimate in per_backend[1:]:
+            assert estimate.probabilities == reference
+
+    def test_default_backend_is_registry_default(self):
+        sampler = ComponentSampler(n_samples=10)
+        assert sampler._engine.backend.name == DEFAULT_BACKEND
+
+
+class TestEngineValidation:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_non_positive_samples_rejected(self, medium_graph, backend):
+        with pytest.raises(SampleSizeError):
+            SamplingEngine(backend).expected_flow(medium_graph, 0, n_samples=0)
+
+    def test_unknown_query_rejected(self, medium_graph):
+        with pytest.raises(VertexNotFoundError):
+            SamplingEngine().expected_flow(medium_graph, "missing", n_samples=10)
+
+    def test_empty_edge_restriction_reaches_only_source(self, medium_graph):
+        batch = SamplingEngine().sample_worlds(medium_graph, 0, 5, seed=0, edges=[])
+        assert batch.problem.n_vertices == 1
+        assert batch.reached.all()
+
+
+class TestBackendRegistry:
+    def test_builtin_names(self):
+        assert "naive" in BACKEND_NAMES
+        assert "vectorized" in BACKEND_NAMES
+        assert DEFAULT_BACKEND in BACKEND_NAMES
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown sampling backend"):
+            make_backend("warp-drive")
+
+    def test_instance_passes_through(self):
+        backend = VectorizedSamplingBackend()
+        assert make_backend(backend) is backend
+
+    def test_none_resolves_to_default(self):
+        assert make_backend(None).name == DEFAULT_BACKEND
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("naive", NaiveSamplingBackend)
+
+    def test_decorator_registration_roundtrip(self):
+        @register_backend("test-slow-bfs")
+        class _TestBackend(NaiveSamplingBackend):
+            name = "test-slow-bfs"
+
+        try:
+            assert make_backend("test-slow-bfs").name == "test-slow-bfs"
+        finally:
+            _FACTORIES.pop("test-slow-bfs", None)
+
+    def test_experiment_config_validates_backend(self):
+        assert ExperimentConfig(backend="naive").backend == "naive"
+        assert ExperimentConfig().backend is None
+        with pytest.raises(ExperimentError, match="unknown sampling backend"):
+            ExperimentConfig(backend="warp-drive")
+
+    def test_set_default_backend_redirects_none(self):
+        previous = set_default_backend("naive")
+        try:
+            assert previous == DEFAULT_BACKEND
+            assert get_default_backend() == "naive"
+            assert make_backend(None).name == "naive"
+            assert ComponentSampler(n_samples=10)._engine.backend.name == "naive"
+        finally:
+            set_default_backend(previous)
+        assert get_default_backend() == DEFAULT_BACKEND
+
+    def test_set_default_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown sampling backend"):
+            set_default_backend("warp-drive")
+        assert get_default_backend() == DEFAULT_BACKEND
+
+
+class TestChunkedDrawing:
+    def test_chunked_blocks_preserve_the_stream(self, medium_graph, monkeypatch):
+        """Forcing many tiny chunks must not change the sampled worlds."""
+        whole = monte_carlo_expected_flow(
+            medium_graph, 0, n_samples=90, seed=13, backend="vectorized"
+        )
+        monkeypatch.setattr(vectorized_module, "_MAX_BLOCK_ELEMENTS", 1)
+        chunked = monte_carlo_expected_flow(
+            medium_graph, 0, n_samples=90, seed=13, backend="vectorized"
+        )
+        naive = monte_carlo_expected_flow(
+            medium_graph, 0, n_samples=90, seed=13, backend="naive"
+        )
+        assert chunked.expected_flow == whole.expected_flow == naive.expected_flow
+        assert chunked.reachability == whole.reachability == naive.reachability
+        assert chunked.variance == whole.variance
+
+
+class TestCustomBackendThroughEstimators:
+    def test_backend_instance_accepted_by_estimator(self, medium_graph):
+        by_name = monte_carlo_expected_flow(
+            medium_graph, 0, n_samples=80, seed=4, backend="vectorized"
+        )
+        by_instance = monte_carlo_expected_flow(
+            medium_graph, 0, n_samples=80, seed=4, backend=VectorizedSamplingBackend()
+        )
+        assert by_name.expected_flow == by_instance.expected_flow
+        assert by_name.reachability == by_instance.reachability
