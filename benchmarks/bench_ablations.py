@@ -8,7 +8,6 @@ lazy-greedy extension versus the paper's delayed-sampling heuristic.
 
 from __future__ import annotations
 
-import pytest
 
 from _helpers import scaled
 from repro.experiments.ablations import (

@@ -11,7 +11,6 @@ visible in ``extra_info``.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.figures import estimator_variance_ablation

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from _helpers import run_selection_benchmark, scaled
+from _helpers import scaled
 from repro.experiments.harness import evaluate_flow, pick_query_vertex
 from repro.graph.generators import partitioned_graph
 from repro.selection.ftree_greedy import FTreeGreedySelector

@@ -8,7 +8,6 @@ whose expected flow must equal exact possible-world enumeration.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.running_example import (
     QUERY,

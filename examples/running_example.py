@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from repro.experiments.running_example import (
     QUERY,
-    example1_graph,
     example1_report,
     ftree_example_graph,
     ftree_example_insertion_order,

@@ -14,7 +14,6 @@ not installed.)
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -27,7 +26,7 @@ from repro.experiments.reporting import format_table, rows_to_csv
 from repro.graph.io import read_json, write_json
 from repro.graph.validation import graph_stats
 from repro.reachability.backends import BACKEND_NAMES, DEFAULT_BACKEND, set_default_backend
-from repro.selection.registry import ALGORITHM_NAMES, make_selector
+from repro.selection.registry import ALGORITHM_NAMES, make_selector, set_default_crn
 from repro.types import Edge
 
 
@@ -56,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=BACKEND_NAMES, default=DEFAULT_BACKEND,
         help="possible-world sampling backend",
     )
+    select.add_argument(
+        "--resample-per-candidate", action="store_true",
+        help="disable common-random-numbers scoring: redraw a fresh world batch "
+             "per probed candidate (the paper's literal, slower reference mode)",
+    )
     select.add_argument("--out", type=Path, default=None, help="write selected edges to this file")
 
     evaluate = subparsers.add_parser("evaluate", help="evaluate the expected flow of a selected edge set")
@@ -79,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--backend", choices=BACKEND_NAMES, default=None,
         help="override the possible-world sampling backend",
+    )
+    experiment.add_argument(
+        "--resample-per-candidate", action="store_true",
+        help="run every sampling-based selector in the per-candidate "
+             "resampling reference mode instead of the CRN default",
     )
     experiment.add_argument(
         "--output-dir", type=Path, default=None,
@@ -115,12 +124,17 @@ def _command_select(args: argparse.Namespace) -> int:
     graph = read_json(args.graph)
     query = _parse_vertex(args.query, graph)
     selector = make_selector(
-        args.algorithm, n_samples=args.samples, seed=args.seed, backend=args.backend
+        args.algorithm,
+        n_samples=args.samples,
+        seed=args.seed,
+        backend=args.backend,
+        crn=not args.resample_per_candidate,
     )
     result = selector.select(graph, query, args.budget)
     print(f"algorithm      : {result.algorithm}")
     print(f"query vertex   : {query}")
     print(f"backend        : {args.backend}")
+    print(f"sampling mode  : {'resample-per-candidate' if args.resample_per_candidate else 'crn'}")
     print(f"edges selected : {result.n_selected} / budget {args.budget}")
     print(f"expected flow  : {result.expected_flow:.4f}")
     print(f"runtime        : {result.elapsed_seconds:.3f}s")
@@ -180,6 +194,18 @@ def _figure_rows(result) -> List[dict]:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
+    if args.resample_per_candidate:
+        # redirect every crn=None resolution, so per-figure default
+        # configurations honour the flag too
+        previous_crn = set_default_crn(False)
+        try:
+            return _command_experiment_backend(args)
+        finally:
+            set_default_crn(previous_crn)
+    return _command_experiment_backend(args)
+
+
+def _command_experiment_backend(args: argparse.Namespace) -> int:
     if args.backend is not None:
         # redirect every backend=None resolution, so per-figure default
         # configurations (and the variance ablation) honour the flag too

@@ -17,7 +17,7 @@ the test suite verifies against a dynamic-programming knapsack solver.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.types import Edge, VertexId

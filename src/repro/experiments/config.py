@@ -95,6 +95,13 @@ class ExperimentConfig:
         :data:`repro.reachability.backends.BACKEND_NAMES`); ``None``
         defers to the library-wide default
         (:func:`repro.reachability.backends.get_default_backend`).
+    crn:
+        Common-random-numbers candidate scoring for the sampling-based
+        selectors (one shared world batch per selection round).
+        ``None`` defers to the library-wide default
+        (:func:`repro.selection.registry.get_default_crn`, normally
+        True); ``False`` forces the per-candidate resampling reference
+        mode everywhere.
     """
 
     n_vertices: int = 300
@@ -108,6 +115,7 @@ class ExperimentConfig:
     repetitions: int = 1
     include_query: bool = False
     backend: Optional[str] = None
+    crn: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.n_vertices <= 0:

@@ -20,8 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.datasets.registry import load_dataset
-from repro.experiments.config import DEFAULT_ALGORITHMS, FAST_ALGORITHMS, ExperimentConfig
-from repro.experiments.harness import evaluate_flow, pick_query_vertex, run_algorithms, run_sweep
+from repro.experiments.config import FAST_ALGORITHMS, ExperimentConfig
+from repro.experiments.harness import evaluate_flow, pick_query_vertex, run_sweep
 from repro.ftree.builder import build_ftree
 from repro.ftree.sampler import ComponentSampler
 from repro.graph.generators import erdos_renyi_graph, partitioned_graph, wsn_graph

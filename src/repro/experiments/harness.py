@@ -108,6 +108,7 @@ def run_algorithms(
             seed=algorithm_seed,
             include_query=config.include_query,
             backend=config.backend,
+            crn=config.crn,
         )
         started = time.perf_counter()
         result: SelectionResult = selector.select(graph, query, budget)

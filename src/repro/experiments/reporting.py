@@ -8,7 +8,7 @@ and CSV so the figures can be regenerated with any plotting tool.
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 def format_table(

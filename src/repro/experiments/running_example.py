@@ -19,7 +19,7 @@ possible-world enumeration:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.algorithms.spanning import dijkstra_spanning_edges
 from repro.graph.uncertain_graph import UncertainGraph

@@ -8,9 +8,9 @@ incremental insertion cases and for documenting experiments.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.ftree.components import BiConnectedComponent, MonoConnectedComponent
+from repro.ftree.components import BiConnectedComponent
 from repro.ftree.ftree import FTree
 from repro.graph.uncertain_graph import UncertainGraph
 

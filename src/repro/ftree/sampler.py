@@ -9,6 +9,21 @@ sampling noise from small cycles and keeps unit tests deterministic.
 
 Results are optionally memoized in a :class:`~repro.ftree.memo.MemoCache`
 keyed by the component content (Section 6.2).
+
+Two sampling modes govern where the Monte-Carlo randomness comes from:
+
+* ``crn=False`` (resample, the reference mode): every estimation draws
+  the next worlds from one sequential stream, so the same component
+  probed for two different candidates sees *different* worlds — the
+  paper's literal behaviour, pinned by the RNG-contract tests.
+* ``crn=True`` (common random numbers): each estimation derives its
+  stream from a counter-based generator keyed on ``(base seed, round,
+  sample size, component content)`` via
+  :func:`~repro.ftree.memo.content_digest`.  Within a selection round
+  (see :meth:`ComponentSampler.begin_round`) every probe of the same
+  component content draws the same worlds, so candidate comparisons are
+  free of cross-candidate sampling noise and estimates are independent
+  of probe order — with or without memoization.
 """
 
 from __future__ import annotations
@@ -16,8 +31,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Set
 
+import numpy as np
+
 from repro.exceptions import SampleSizeError
-from repro.ftree.memo import MemoCache, MemoEntry
+from repro.ftree.memo import MemoCache, MemoEntry, content_digest
 from repro.graph.possible_world import enumerate_worlds
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.reachability.backends import BackendLike
@@ -56,6 +73,10 @@ class ComponentSampler:
     backend:
         Possible-world sampling backend name or instance for the
         Monte-Carlo path (see :mod:`repro.reachability.backends`).
+    crn:
+        Common-random-numbers mode (see the module docstring).  Off by
+        default so directly constructed samplers keep the sequential
+        reference stream; the greedy selectors enable it per default.
     """
 
     def __init__(
@@ -65,6 +86,7 @@ class ComponentSampler:
         seed: SeedLike = None,
         memo: Optional[MemoCache] = None,
         backend: BackendLike = None,
+        crn: bool = False,
     ) -> None:
         if n_samples <= 0:
             raise SampleSizeError(n_samples)
@@ -73,14 +95,42 @@ class ComponentSampler:
         self.n_samples = int(n_samples)
         self.exact_threshold = int(exact_threshold)
         self.memo = memo
+        self.crn = bool(crn)
         self._engine = SamplingEngine(backend)
         self._rng = ensure_rng(seed)
+        self._round = 0
+        # the CRN base key: reuse an integer seed directly so estimates
+        # are reproducible per seed; otherwise draw one key from the
+        # provided stream (or OS entropy for seed=None)
+        if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+            self._crn_base = int(seed)
+        else:
+            self._crn_base = int(self._rng.integers(0, 2**63 - 1)) if self.crn else 0
         #: number of Monte-Carlo estimations actually performed
         self.sampled_components = 0
         #: number of exact enumerations performed
         self.exact_components = 0
         #: total number of edges flipped across all Monte-Carlo estimations
         self.sampled_edges = 0
+
+    # ------------------------------------------------------------------
+    def begin_round(self, round_index: int) -> None:
+        """Advance the CRN stream to a new selection round.
+
+        In CRN mode every estimation between two ``begin_round`` calls
+        derives its worlds from ``(base seed, round_index, sample size,
+        component content)``, so re-probing the same component content
+        within one round replays the same worlds while a new round draws
+        fresh ones.  A no-op in resample mode.
+        """
+        self._round = int(round_index)
+
+    def _component_rng(self, edges: Set[Edge], articulation: VertexId) -> np.random.Generator:
+        """Counter-based generator keyed on round and component content."""
+        key = content_digest(
+            edges, articulation, self._crn_base, self._round, self.n_samples
+        )
+        return np.random.Generator(np.random.Philox(key=key))
 
     # ------------------------------------------------------------------
     def reachability(
@@ -151,13 +201,14 @@ class ComponentSampler:
             probabilities = self._exact(graph, articulation, vertices, edges)
             self.exact_components += 1
             return ComponentEstimate(probabilities=probabilities, n_samples=None, exact=True)
+        seed = self._component_rng(edges, articulation) if self.crn else self._rng
         probabilities = self._engine.component_reachability(
             graph,
             articulation,
             vertices,
             edges,
             n_samples=self.n_samples,
-            seed=self._rng,
+            seed=seed,
         )
         self.sampled_components += 1
         self.sampled_edges += len(edges)

@@ -32,13 +32,12 @@ Plus deterministic toy graphs (:func:`path_graph`, :func:`cycle_graph`,
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.rng import SeedLike, ensure_rng
-from repro.types import VertexId
 
 #: Smallest probability assigned by generators; the model requires p > 0.
 _MIN_PROBABILITY = 1e-9

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.algorithms.traversal import bfs_tree
 from repro.exceptions import VertexNotFoundError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.rng import SeedLike, ensure_rng

@@ -19,6 +19,17 @@ spectrum of estimators:
   reproducible per seed on either backend; pick one via the ``backend``
   argument of the estimators, :class:`ComponentSampler`,
   ``ExperimentConfig`` or the CLI's ``--backend`` flag;
+* :mod:`repro.reachability.context` — the evaluation-context layer
+  between the engine and the greedy selectors:
+  :class:`EvaluationContext` draws one shared edge-flip matrix per
+  selection round (common random numbers) and scores every candidate
+  edge set against it with incremental reachability deltas, so a whole
+  greedy round is one ``score_candidates`` call, candidate comparisons
+  carry no cross-candidate sampling noise, and selections are identical
+  across backends per seed.  All selectors use it by default; switch
+  back to the paper's literal per-candidate resampling with
+  ``crn=False`` (selectors / ``make_selector``), ``ExperimentConfig``,
+  or the CLI's ``--resample-per-candidate`` flag;
 * :mod:`repro.reachability.exact` — exhaustive possible-world
   enumeration, exact but exponential, used as ground truth for small
   graphs and small bi-connected components;
@@ -37,7 +48,8 @@ from repro.reachability.backends import (
     make_backend,
     register_backend,
 )
-from repro.reachability.engine import SamplingEngine, WorldBatch
+from repro.reachability.context import CandidateScores, EvaluationContext
+from repro.reachability.engine import FlipBatch, SamplingEngine, WorldBatch
 from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
 from repro.reachability.monte_carlo import (
     MonteCarloFlowEstimator,
@@ -76,6 +88,9 @@ __all__ = [
     "SamplingBackend",
     "SamplingEngine",
     "WorldBatch",
+    "FlipBatch",
+    "CandidateScores",
+    "EvaluationContext",
     "make_backend",
     "register_backend",
     "FlowEstimate",

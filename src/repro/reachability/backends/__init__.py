@@ -20,7 +20,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple, Union
 
-from repro.reachability.backends.base import SamplingBackend, SamplingProblem
+from repro.reachability.backends.base import (
+    CoreSamplingBackend,
+    SamplingBackend,
+    SamplingProblem,
+    propagate_reachability_fallback,
+)
 from repro.reachability.backends.naive import NaiveSamplingBackend
 from repro.reachability.backends.vectorized import VectorizedSamplingBackend
 
@@ -103,7 +108,10 @@ def make_backend(backend: BackendLike = None) -> SamplingBackend:
                 f"unknown sampling backend {backend!r}; expected one of {backend_names()}"
             ) from None
         return factory()
-    if isinstance(backend, SamplingBackend):
+    if isinstance(backend, CoreSamplingBackend):
+        # the pre-CRN core (name + sample_reachability) is enough: the
+        # engine falls back to propagate_reachability_fallback when the
+        # incremental primitive is missing
         return backend
     raise TypeError(f"cannot interpret {backend!r} as a sampling backend")
 
@@ -117,10 +125,12 @@ BACKEND_NAMES: Tuple[str, ...] = backend_names()
 __all__ = [
     "BACKEND_NAMES",
     "BackendLike",
+    "CoreSamplingBackend",
     "DEFAULT_BACKEND",
     "NaiveSamplingBackend",
     "SamplingBackend",
     "SamplingProblem",
+    "propagate_reachability_fallback",
     "VectorizedSamplingBackend",
     "backend_names",
     "get_default_backend",

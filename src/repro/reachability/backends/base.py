@@ -15,16 +15,41 @@ The stream contract every backend must honour: exactly
 ``n_samples * n_edges`` uniform doubles are consumed, in world-major
 order (all edge flips of world 0, then world 1, …).  An edge survives in
 a world iff its uniform draw is strictly below its probability.
+
+Since the common-random-numbers refactor the contract is factored into
+two primitives rather than one monolithic call:
+
+* :func:`sample_flips` — the *one* implementation of the stream
+  contract.  It draws the ``(n_samples, n_edges)`` boolean edge-survival
+  matrix in world-major chunks, so every backend (and the evaluation
+  context, which shares one flip matrix across a whole round of
+  candidates) sees identical worlds for the same seed by construction.
+* :meth:`SamplingBackend.propagate_reachability` — deterministic closure
+  of a flip matrix: given the survival matrix and the indices of the
+  *active* edges, compute which vertices each world connects to the
+  source.  Passing ``base_reached`` starts the propagation from an
+  already-computed closure, which is how candidate edges are scored
+  incrementally instead of re-propagating the whole subgraph.
+
+``sample_reachability`` remains the one-call entry point and is defined
+as ``propagate_reachability(problem, sample_flips(...), all edges)``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Protocol, Sequence, Tuple, runtime_checkable
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
 from repro.types import Edge, VertexId
+
+#: Ceiling on uniform doubles drawn per block (~32 MB of float64), so a
+#: flip draw never materializes ``n_samples x n_edges`` float64 at once:
+#: worlds are drawn in world-major chunks, which consumes the identical
+#: random stream and therefore preserves the bit-for-bit seed contract.
+MAX_FLIP_BLOCK_ELEMENTS = 4_194_304
 
 
 @dataclass(frozen=True, eq=False)
@@ -118,12 +143,117 @@ class SamplingProblem:
         )
 
 
+def sample_flips(
+    problem: SamplingProblem,
+    n_samples: int,
+    rng: np.random.Generator,
+    max_block_elements: int = MAX_FLIP_BLOCK_ELEMENTS,
+) -> np.ndarray:
+    """Draw the boolean ``(n_samples, n_edges)`` edge-survival matrix.
+
+    This is the single implementation of the random-stream contract:
+    ``n_samples * n_edges`` uniform doubles consumed in world-major
+    order, an edge surviving iff its draw is strictly below its
+    probability.  Draws happen in world-major chunks of at most
+    ``max_block_elements`` doubles; chunk boundaries do not change the
+    stream, so the matrix is identical for any chunk size.
+    """
+    n_edges = problem.n_edges
+    flips = np.empty((n_samples, n_edges), dtype=bool)
+    if n_edges == 0 or n_samples == 0:
+        return flips
+    chunk = max(1, max_block_elements // n_edges)
+    for start in range(0, n_samples, chunk):
+        stop = min(start + chunk, n_samples)
+        flips[start:stop] = rng.random((stop - start, n_edges)) < problem.probabilities
+    return flips
+
+
+def propagate_reachability_fallback(
+    problem: SamplingProblem,
+    flips: np.ndarray,
+    edge_indices: np.ndarray,
+    base_reached: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Backend-independent reference closure: one Python BFS per world.
+
+    Used directly by the naive backend and as the engine's fallback for
+    third-party backends that predate the ``propagate_reachability``
+    contract (they only implement :class:`CoreSamplingBackend`), so CRN
+    candidate scoring works — slowly but correctly — on any backend.
+    """
+    n_samples = int(flips.shape[0])
+    if base_reached is None:
+        reached = np.zeros((n_samples, problem.n_vertices), dtype=bool)
+    else:
+        reached = base_reached.copy()
+    reached[:, problem.source] = True
+    edge_indices = np.asarray(edge_indices, dtype=np.int64)
+    if edge_indices.size == 0 or n_samples == 0:
+        return reached
+    edge_u = problem.edge_u[edge_indices].tolist()
+    edge_v = problem.edge_v[edge_indices].tolist()
+    active_flips = flips[:, edge_indices]
+    for sample_index in range(n_samples):
+        survives = active_flips[sample_index]
+        adjacency: Dict[int, List[int]] = {}
+        for u, v, alive in zip(edge_u, edge_v, survives):
+            if alive:
+                adjacency.setdefault(u, []).append(v)
+                adjacency.setdefault(v, []).append(u)
+        row = reached[sample_index]
+        # BFS from every vertex of the starting closure, so an
+        # incremental call re-propagates only across the new edges
+        queue = deque(np.flatnonzero(row).tolist())
+        while queue:
+            current = queue.popleft()
+            for neighbor in adjacency.get(current, ()):
+                if not row[neighbor]:
+                    row[neighbor] = True
+                    queue.append(neighbor)
+    return reached
+
+
+def chunked_sample_reachability(
+    backend: "SamplingBackend",
+    problem: SamplingProblem,
+    n_samples: int,
+    rng: np.random.Generator,
+    max_block_elements: int = MAX_FLIP_BLOCK_ELEMENTS,
+) -> np.ndarray:
+    """Draw-and-propagate in bounded world-major chunks.
+
+    The shared ``sample_reachability`` body of both built-in backends:
+    flip matrices are drawn (and discarded) chunk by chunk so a big
+    sample count never materializes the full ``n_samples x n_edges``
+    matrix.  Chunk boundaries do not change the random stream, so the
+    result is identical for any block size.
+    """
+    reached = np.zeros((n_samples, problem.n_vertices), dtype=bool)
+    reached[:, problem.source] = True
+    n_edges = problem.n_edges
+    if n_edges == 0 or n_samples == 0:
+        return reached
+    all_edges = np.arange(n_edges)
+    chunk = max(1, max_block_elements // n_edges)
+    for start in range(0, n_samples, chunk):
+        stop = min(start + chunk, n_samples)
+        flips = sample_flips(
+            problem, stop - start, rng, max_block_elements=max_block_elements
+        )
+        reached[start:stop] = backend.propagate_reachability(problem, flips, all_edges)
+    return reached
+
+
 @runtime_checkable
-class SamplingBackend(Protocol):
-    """Protocol every sampling backend implements.
+class CoreSamplingBackend(Protocol):
+    """The minimal backend surface (the pre-CRN protocol).
 
     Backends are stateless beyond configuration; all randomness comes
-    from the generator passed to :meth:`sample_reachability`.
+    from the generator passed to :meth:`sample_reachability`.  Instances
+    implementing only this core remain accepted everywhere: the engine
+    falls back to :func:`propagate_reachability_fallback` when the
+    incremental primitive is missing.
     """
 
     #: registry name of the backend (e.g. ``"naive"``, ``"vectorized"``)
@@ -141,5 +271,34 @@ class SamplingBackend(Protocol):
         whose entry ``[s, v]`` is True iff vertex ``v`` is connected to
         the problem's source vertex in world ``s``.  The source column is
         always True.
+        """
+        ...
+
+
+@runtime_checkable
+class SamplingBackend(CoreSamplingBackend, Protocol):
+    """The full backend protocol (core plus the incremental primitive)."""
+
+    def propagate_reachability(
+        self,
+        problem: SamplingProblem,
+        flips: np.ndarray,
+        edge_indices: np.ndarray,
+        base_reached: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Compute source reachability for a given flip matrix.
+
+        Deterministic closure — no randomness is consumed.  Only the
+        edges listed in ``edge_indices`` (integer indices into the
+        problem's edge arrays) are traversed; the flip matrix may cover
+        more edges (e.g. a whole candidate universe), the rest are
+        ignored.  When ``base_reached`` is given, propagation starts
+        from that already-computed closure instead of from the source
+        alone — since reachability is monotone in the edge set, this
+        yields exactly the closure of the enlarged edge set while only
+        re-propagating from the newly connected frontier.
+
+        Returns a fresh boolean ``(n_samples, n_vertices)`` matrix; the
+        inputs are never mutated.
         """
         ...

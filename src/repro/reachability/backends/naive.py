@@ -5,20 +5,31 @@ This is the direct translation of the original per-world loop of
 serves two purposes: it is the behavioural reference the vectorized
 backend is pinned against in the property tests, and it remains a
 readable executable specification of Lemma 1's sampling scheme.
+
+Both primitives of the backend contract share one implementation,
+:func:`~repro.reachability.backends.base.propagate_reachability_fallback`:
+it rebuilds a dict adjacency from the surviving active edges of each
+world and runs one BFS (seeded from every already-reached vertex when a
+base closure is supplied).  ``sample_reachability`` applies that closure
+to flip matrices drawn in bounded world-major chunks, so memory stays
+flat in ``n_samples``.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, List
+from typing import Optional
 
 import numpy as np
 
-from repro.reachability.backends.base import SamplingProblem
+from repro.reachability.backends.base import (
+    SamplingProblem,
+    chunked_sample_reachability,
+    propagate_reachability_fallback,
+)
 
 
 class NaiveSamplingBackend:
-    """Per-world Python BFS over freshly built adjacency lists."""
+    """One BFS per world over a dict adjacency — slow but obvious."""
 
     name = "naive"
 
@@ -28,29 +39,15 @@ class NaiveSamplingBackend:
         n_samples: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        n_vertices = problem.n_vertices
-        n_edges = problem.n_edges
-        reached = np.zeros((n_samples, n_vertices), dtype=bool)
-        reached[:, problem.source] = True
-        if n_edges == 0:
-            return reached
-        edge_u = problem.edge_u.tolist()
-        edge_v = problem.edge_v.tolist()
-        probabilities = problem.probabilities
-        source = problem.source
-        for sample_index in range(n_samples):
-            survives = rng.random(n_edges) < probabilities
-            adjacency: Dict[int, List[int]] = {}
-            for u, v, alive in zip(edge_u, edge_v, survives):
-                if alive:
-                    adjacency.setdefault(u, []).append(v)
-                    adjacency.setdefault(v, []).append(u)
-            row = reached[sample_index]
-            queue = deque([source])
-            while queue:
-                current = queue.popleft()
-                for neighbor in adjacency.get(current, ()):
-                    if not row[neighbor]:
-                        row[neighbor] = True
-                        queue.append(neighbor)
-        return reached
+        return chunked_sample_reachability(self, problem, n_samples, rng)
+
+    def propagate_reachability(
+        self,
+        problem: SamplingProblem,
+        flips: np.ndarray,
+        edge_indices: np.ndarray,
+        base_reached: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return propagate_reachability_fallback(
+            problem, flips, edge_indices, base_reached=base_reached
+        )

@@ -1,9 +1,10 @@
 """NumPy-vectorized backend: all worlds sampled and traversed at once.
 
-The backend draws the full ``n_samples x n_edges`` edge-flip matrix as a
-single uniform block (consuming the random stream in exactly the same
-order as the naive backend, so estimates match bit-for-bit per seed) and
-then runs a *batched* frontier propagation over bit-packed world masks:
+The backend draws the full ``n_samples x n_edges`` edge-flip matrix via
+the shared :func:`~repro.reachability.backends.base.sample_flips`
+primitive (consuming the random stream in exactly the same order as the
+naive backend, so estimates match bit-for-bit per seed) and then runs a
+*batched* frontier propagation over bit-packed world masks:
 
 * the sample axis is packed into bytes (``np.packbits``), so each vertex
   carries a ``ceil(n_samples / 8)``-byte bitset of the worlds that reach
@@ -18,19 +19,30 @@ then runs a *batched* frontier propagation over bit-packed world masks:
 
 A sweep therefore touches ``2 * n_edges * n_samples / 8`` bytes with a
 handful of NumPy calls, instead of one Python BFS per world.
+
+:meth:`VectorizedSamplingBackend.propagate_reachability` exposes the
+same fixpoint as a deterministic primitive over a given flip matrix.
+When it is seeded with an already-computed base closure (the evaluation
+context's per-round baseline), the very first sweep only gains bits on
+the freshly connected frontier and the loop terminates after a handful
+of sweeps — the incremental-delta path of candidate scoring.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.reachability.backends.base import SamplingProblem
+from repro.reachability.backends.base import (
+    MAX_FLIP_BLOCK_ELEMENTS,
+    SamplingProblem,
+    chunked_sample_reachability,
+)
 
-#: Ceiling on uniform doubles drawn per block (~32 MB of float64), so the
-#: flip matrix never materializes ``n_samples x n_edges`` at once: worlds
-#: are processed in world-major chunks, which consumes the identical
-#: random stream and therefore preserves the bit-for-bit seed contract.
-_MAX_BLOCK_ELEMENTS = 4_194_304
+#: Per-draw block ceiling (kept as a module attribute so tests can force
+#: tiny chunks; chunk boundaries never change the random stream).
+_MAX_BLOCK_ELEMENTS = MAX_FLIP_BLOCK_ELEMENTS
 
 
 class VectorizedSamplingBackend:
@@ -44,45 +56,53 @@ class VectorizedSamplingBackend:
         n_samples: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        n_vertices = problem.n_vertices
-        n_edges = problem.n_edges
-        reached = np.zeros((n_samples, n_vertices), dtype=bool)
+        return chunked_sample_reachability(
+            self, problem, n_samples, rng, max_block_elements=_MAX_BLOCK_ELEMENTS
+        )
+
+    def propagate_reachability(
+        self,
+        problem: SamplingProblem,
+        flips: np.ndarray,
+        edge_indices: np.ndarray,
+        base_reached: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        n_samples = int(flips.shape[0])
+        if base_reached is None:
+            reached = np.zeros((n_samples, problem.n_vertices), dtype=bool)
+        else:
+            reached = base_reached.copy()
         reached[:, problem.source] = True
-        if n_edges == 0 or n_samples == 0:
+        edge_indices = np.asarray(edge_indices, dtype=np.int64)
+        if edge_indices.size == 0 or n_samples == 0:
             return reached
 
-        # undirected edges as directed half-edges, grouped by head vertex
-        tail = np.concatenate([problem.edge_u, problem.edge_v])
-        head = np.concatenate([problem.edge_v, problem.edge_u])
+        # undirected active edges as directed half-edges, grouped by head
+        active_u = problem.edge_u[edge_indices]
+        active_v = problem.edge_v[edge_indices]
+        tail = np.concatenate([active_u, active_v])
+        head = np.concatenate([active_v, active_u])
         order = np.argsort(head, kind="stable")
         tail = tail[order]
         head = head[order]
         group_starts = np.flatnonzero(np.r_[True, head[1:] != head[:-1]])
         group_heads = head[group_starts]
 
-        chunk = max(1, _MAX_BLOCK_ELEMENTS // n_edges)
-        for start in range(0, n_samples, chunk):
-            stop = min(start + chunk, n_samples)
-            # one block draw == the naive backend's per-world row draws
-            survives = rng.random((stop - start, n_edges)) < problem.probabilities
+        # per-edge bitset over the worlds: alive[e] has bit s set iff the
+        # active edge e survived in world s (padding bits are zero)
+        alive = np.packbits(flips[:, edge_indices].T, axis=1)
+        alive = np.concatenate([alive, alive], axis=0)[order]
 
-            # per-edge bitset over the chunk's worlds: alive[e] has bit s
-            # set iff edge e survived in world s (padding bits are zero)
-            alive = np.packbits(survives.T, axis=1)
-            alive = np.concatenate([alive, alive], axis=0)[order]
+        # per-vertex bitset of the worlds that reach it, seeded from the
+        # starting closure (source-only or an incremental baseline)
+        bits = np.packbits(reached.T, axis=1)
 
-            # per-vertex bitset of the worlds that reach it; the source's
-            # padding bits are set too but are dropped again at unpack time
-            bits = np.zeros((n_vertices, alive.shape[1]), dtype=np.uint8)
-            bits[problem.source] = 0xFF
+        while True:
+            carried = bits[tail] & alive
+            gained = np.bitwise_or.reduceat(carried, group_starts, axis=0)
+            updated = bits[group_heads] | gained
+            if np.array_equal(updated, bits[group_heads]):
+                break
+            bits[group_heads] = updated
 
-            while True:
-                carried = bits[tail] & alive
-                gained = np.bitwise_or.reduceat(carried, group_starts, axis=0)
-                updated = bits[group_heads] | gained
-                if np.array_equal(updated, bits[group_heads]):
-                    break
-                bits[group_heads] = updated
-
-            reached[start:stop] = np.unpackbits(bits, axis=1, count=stop - start).T
-        return reached
+        return np.unpackbits(bits, axis=1, count=n_samples).T.astype(bool)

@@ -31,7 +31,12 @@ import numpy as np
 from repro.exceptions import SampleSizeError, VertexNotFoundError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.reachability.backends import BackendLike, make_backend
-from repro.reachability.backends.base import SamplingBackend, SamplingProblem
+from repro.reachability.backends.base import (
+    SamplingBackend,
+    SamplingProblem,
+    propagate_reachability_fallback,
+    sample_flips,
+)
 from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
 from repro.rng import SeedLike, ensure_rng
 from repro.types import Edge, VertexId
@@ -70,6 +75,56 @@ class WorldBatch:
         except KeyError:
             return 0.0
         return float(self.reached[:, index].sum()) / self.n_samples
+
+    def hit_frequencies(self, vertices: Iterable[VertexId]) -> np.ndarray:
+        """Return the hit frequency of every listed vertex as one array.
+
+        One vectorized column gather instead of a Python loop of
+        :meth:`hit_frequency` calls; vertices outside the indexed
+        problem report 0.0.  The result aligns with the input order.
+        """
+        vertices = list(vertices)
+        frequencies = np.zeros(len(vertices), dtype=np.float64)
+        positions: List[int] = []
+        columns: List[int] = []
+        for position, vertex in enumerate(vertices):
+            try:
+                columns.append(self.problem.index_of(vertex))
+            except KeyError:
+                continue
+            positions.append(position)
+        if positions:
+            counts = self.reached[:, columns].sum(axis=0)
+            frequencies[positions] = counts / self.n_samples
+        return frequencies
+
+
+@dataclass(frozen=True, eq=False)
+class FlipBatch:
+    """An indexed problem plus one shared edge-flip (survival) matrix.
+
+    Unlike :class:`WorldBatch` this holds the *raw worlds* — which edges
+    survived in each sample — before any reachability propagation, so
+    one batch can be re-propagated for many different active edge
+    subsets (the common-random-numbers candidate scoring of
+    :mod:`repro.reachability.context`).
+
+    Attributes
+    ----------
+    problem:
+        The indexed sampling problem the flips were drawn for.
+    flips:
+        Boolean matrix of shape ``(n_samples, n_edges)``; entry
+        ``[s, e]`` is True iff indexed edge ``e`` survived in world ``s``.
+    """
+
+    problem: SamplingProblem
+    flips: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of sampled worlds in the batch."""
+        return int(self.flips.shape[0])
 
 
 class SamplingEngine:
@@ -129,6 +184,54 @@ class SamplingEngine:
         )
         reached = self.backend.sample_reachability(problem, int(n_samples), rng)
         return WorldBatch(problem=problem, reached=reached)
+
+    # ------------------------------------------------------------------
+    # flip-matrix / delta-propagation primitives (CRN candidate scoring)
+    # ------------------------------------------------------------------
+    def sample_flips(
+        self,
+        graph: UncertainGraph,
+        source: VertexId,
+        n_samples: int,
+        seed: SeedLike = None,
+        edges: Optional[Iterable[Edge]] = None,
+        extra_vertices: Iterable[VertexId] = (),
+    ) -> FlipBatch:
+        """Draw one shared edge-flip matrix without propagating it.
+
+        The flips are produced by the backend-independent
+        :func:`~repro.reachability.backends.base.sample_flips` stream
+        implementation, so the batch is bit-for-bit identical across
+        backends for the same seed — which is what lets the evaluation
+        context guarantee identical candidate scores on any backend.
+        """
+        if n_samples <= 0:
+            raise SampleSizeError(n_samples)
+        rng = ensure_rng(seed)
+        problem = SamplingProblem.from_edges(
+            _restricted_edges(graph, edges), source, extra_vertices=extra_vertices
+        )
+        flips = sample_flips(problem, int(n_samples), rng)
+        return FlipBatch(problem=problem, flips=flips)
+
+    def propagate(
+        self,
+        problem: SamplingProblem,
+        flips: np.ndarray,
+        edge_indices: np.ndarray,
+        base_reached: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Closure of a flip matrix over the listed active edges.
+
+        Thin passthrough to the backend's ``propagate_reachability``
+        primitive (see :class:`~repro.reachability.backends.base.SamplingBackend`);
+        backends predating the incremental contract fall back to the
+        backend-independent reference closure.
+        """
+        propagate = getattr(
+            self.backend, "propagate_reachability", propagate_reachability_fallback
+        )
+        return propagate(problem, flips, edge_indices, base_reached=base_reached)
 
     # ------------------------------------------------------------------
     # aggregations (the three public estimators route through these)
@@ -222,7 +325,8 @@ class SamplingEngine:
             edges=list(edges),
             extra_vertices=targets,
         )
-        return {vertex: batch.hit_frequency(vertex) for vertex in targets}
+        frequencies = batch.hit_frequencies(targets)
+        return {vertex: float(f) for vertex, f in zip(targets, frequencies)}
 
 
 def _restricted_edges(
@@ -234,4 +338,4 @@ def _restricted_edges(
     return [(edge, graph.probability(edge)) for edge in edges]
 
 
-__all__ = ["SamplingEngine", "WorldBatch"]
+__all__ = ["FlipBatch", "SamplingEngine", "WorldBatch"]

@@ -20,7 +20,7 @@ reliabilities through the F-tree instead.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.algorithms.union_find import UnionFind
 from repro.exceptions import VertexNotFoundError

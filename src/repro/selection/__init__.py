@@ -16,6 +16,12 @@ per-iteration diagnostics.  Available selectors:
 
 :func:`make_selector` builds the paper's named algorithm variants
 ("Naive", "Dijkstra", "FT", "FT+M", "FT+M+CI", "FT+M+DS", "FT+M+CI+DS").
+
+All sampling-based selectors score candidates with common random
+numbers by default (one shared batch of possible worlds per selection
+round, see :mod:`repro.reachability.context`); pass ``crn=False`` — or
+flip the process-wide default with :func:`set_default_crn` — for the
+paper's literal per-candidate resampling reference mode.
 """
 
 from repro.selection.base import (
@@ -30,7 +36,13 @@ from repro.selection.ftree_greedy import FTreeGreedySelector
 from repro.selection.lazy_greedy import LazyGreedySelector
 from repro.selection.random_baseline import RandomSelector
 from repro.selection.exact_optimal import exhaustive_optimal_selection
-from repro.selection.registry import ALGORITHM_NAMES, make_selector
+from repro.selection.registry import (
+    ALGORITHM_NAMES,
+    DEFAULT_CRN,
+    get_default_crn,
+    make_selector,
+    set_default_crn,
+)
 
 __all__ = [
     "EdgeSelector",
@@ -44,5 +56,8 @@ __all__ = [
     "RandomSelector",
     "exhaustive_optimal_selection",
     "ALGORITHM_NAMES",
+    "DEFAULT_CRN",
+    "get_default_crn",
     "make_selector",
+    "set_default_crn",
 ]

@@ -8,7 +8,7 @@ frontier incrementally as edges are selected.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Set
+from typing import Iterator, List, Set
 
 from repro.exceptions import VertexNotFoundError
 from repro.graph.uncertain_graph import UncertainGraph

@@ -10,7 +10,7 @@ greedy heuristics get to the optimum.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Tuple
+from typing import Tuple
 
 from repro.exceptions import BudgetError, ExactEnumerationError, VertexNotFoundError
 from repro.graph.uncertain_graph import UncertainGraph

@@ -64,6 +64,13 @@ class FTreeGreedySelector(EdgeSelector):
     backend:
         Possible-world sampling backend name or instance used by the
         component samplers (see :mod:`repro.reachability.backends`).
+    crn:
+        Common-random-numbers candidate scoring (the default): the
+        component samplers key their streams per selection round and
+        component content (see :class:`~repro.ftree.sampler.ComponentSampler`),
+        so within one round every probe of the same component draws the
+        same worlds and candidate comparisons are noise-free.  ``False``
+        restores the sequential-stream resampling reference behaviour.
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class FTreeGreedySelector(EdgeSelector):
         seed: SeedLike = None,
         include_query: bool = False,
         backend: BackendLike = None,
+        crn: bool = True,
     ) -> None:
         if delay_base <= 1.0:
             raise ValueError(f"delay_base must be greater than 1, got {delay_base!r}")
@@ -90,6 +98,7 @@ class FTreeGreedySelector(EdgeSelector):
         self.alpha = alpha
         self.include_query = include_query
         self.backend = backend
+        self.crn = bool(crn)
         self._seed = seed
         self.name = self._build_name()
 
@@ -115,6 +124,7 @@ class FTreeGreedySelector(EdgeSelector):
             seed=rng,
             memo=memo,
             backend=self.backend,
+            crn=self.crn,
         )
         screening_sampler = ComponentSampler(
             n_samples=_SCREENING_SAMPLES,
@@ -122,6 +132,7 @@ class FTreeGreedySelector(EdgeSelector):
             seed=derive_seed(self._seed, 1) if self._seed is not None else None,
             memo=None,
             backend=self.backend,
+            crn=self.crn,
         )
         ftree = FTree(graph, query, sampler=sampler)
         candidates = CandidateManager(graph, query)
@@ -136,6 +147,8 @@ class FTreeGreedySelector(EdgeSelector):
             if not candidates.has_candidates():
                 break
             iteration_watch = Stopwatch()
+            sampler.begin_round(index)
+            screening_sampler.begin_round(index)
             outcome = self._probe_candidates(
                 ftree, candidates, delays, screening_sampler
             )

@@ -51,6 +51,12 @@ class LazyGreedySelector(EdgeSelector):
     backend:
         Possible-world sampling backend name or instance (see
         :mod:`repro.reachability.backends`).
+    crn:
+        Common-random-numbers candidate scoring (the default): the
+        component sampler keys its streams per selection round and
+        component content, so re-evaluating the heap's top candidate
+        compares against gains measured on the same worlds.  ``False``
+        restores the sequential-stream resampling reference behaviour.
     """
 
     name = "FT+Lazy"
@@ -63,12 +69,14 @@ class LazyGreedySelector(EdgeSelector):
         seed: SeedLike = None,
         include_query: bool = False,
         backend: BackendLike = None,
+        crn: bool = True,
     ) -> None:
         self.n_samples = n_samples
         self.exact_threshold = exact_threshold
         self.memoize = memoize
         self.include_query = include_query
         self.backend = backend
+        self.crn = bool(crn)
         self._seed = seed
 
     def select(self, graph: UncertainGraph, query: VertexId, budget: int) -> SelectionResult:
@@ -82,6 +90,7 @@ class LazyGreedySelector(EdgeSelector):
             seed=rng,
             memo=memo,
             backend=self.backend,
+            crn=self.crn,
         )
         ftree = FTree(graph, query, sampler=sampler)
         candidates = CandidateManager(graph, query)
@@ -103,6 +112,7 @@ class LazyGreedySelector(EdgeSelector):
             if not candidates.has_candidates():
                 break
             iteration_watch = Stopwatch()
+            sampler.begin_round(index)
             probed = 0
             best_edge: Optional[Edge] = None
             best_flow = current_flow

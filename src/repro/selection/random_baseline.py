@@ -32,11 +32,16 @@ class RandomSelector(EdgeSelector):
         seed: SeedLike = None,
         include_query: bool = False,
         backend: BackendLike = None,
+        crn: bool = True,
     ) -> None:
         self.n_samples = n_samples
         self.exact_threshold = exact_threshold
         self.include_query = include_query
         self.backend = backend
+        # the random choice itself draws no worlds; crn only keys the
+        # final flow evaluation's component streams, kept for API
+        # uniformity with the greedy selectors
+        self.crn = bool(crn)
         self._rng = ensure_rng(seed)
 
     def select(self, graph: UncertainGraph, query: VertexId, budget: int) -> SelectionResult:
@@ -60,6 +65,7 @@ class RandomSelector(EdgeSelector):
             exact_threshold=self.exact_threshold,
             seed=self._rng,
             backend=self.backend,
+            crn=self.crn,
         )
         ftree = build_ftree(graph, selected, query, sampler=sampler)
         flow = ftree.expected_flow(include_query=self.include_query)

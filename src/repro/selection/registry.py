@@ -29,6 +29,32 @@ ALGORITHM_NAMES = (
     "Random",
 )
 
+#: Initial process-wide default for common-random-numbers candidate
+#: scoring (see :func:`set_default_crn` for runtime overrides).
+DEFAULT_CRN = True
+
+_default_crn = DEFAULT_CRN
+
+
+def get_default_crn() -> bool:
+    """Return the sampling mode every ``crn=None`` call resolves to."""
+    return _default_crn
+
+
+def set_default_crn(crn: bool) -> bool:
+    """Override the process-wide default sampling mode; returns the previous one.
+
+    Mirrors :func:`repro.reachability.backends.set_default_backend`: it
+    lets entry points (e.g. the CLI's ``--resample-per-candidate`` flag)
+    redirect every unspecified ``crn=None`` resolution — including code
+    paths that build their own default configurations — without
+    threading the choice through each call site.
+    """
+    global _default_crn
+    previous = _default_crn
+    _default_crn = bool(crn)
+    return previous
+
 
 def make_selector(
     name: str,
@@ -39,6 +65,7 @@ def make_selector(
     seed: SeedLike = None,
     include_query: bool = False,
     backend: BackendLike = None,
+    crn: Optional[bool] = None,
 ) -> EdgeSelector:
     """Instantiate one of the paper's algorithms by name.
 
@@ -62,7 +89,15 @@ def make_selector(
     backend:
         Possible-world sampling backend used by the sampling-based
         selectors (see :data:`repro.reachability.backends.BACKEND_NAMES`).
+    crn:
+        Common-random-numbers candidate scoring for the sampling-based
+        selectors: one shared batch of possible worlds per selection
+        round instead of a fresh draw per candidate.  ``None`` (the
+        default) defers to :func:`get_default_crn`; ``False`` restores
+        the paper's literal per-candidate resampling reference mode.
     """
+    if crn is None:
+        crn = get_default_crn()
     flags = _FT_FLAGS.get(name)
     if flags is not None:
         memoize, confidence, delayed = flags
@@ -77,10 +112,15 @@ def make_selector(
             seed=seed,
             include_query=include_query,
             backend=backend,
+            crn=crn,
         )
     if name == "Naive":
         return NaiveGreedySelector(
-            n_samples=n_samples, seed=seed, include_query=include_query, backend=backend
+            n_samples=n_samples,
+            seed=seed,
+            include_query=include_query,
+            backend=backend,
+            crn=crn,
         )
     if name == "Dijkstra":
         return DijkstraSelector(include_query=include_query)
@@ -91,6 +131,7 @@ def make_selector(
             seed=seed,
             include_query=include_query,
             backend=backend,
+            crn=crn,
         )
     raise ValueError(f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}")
 

@@ -1,6 +1,5 @@
 """Tests for the ablation studies (extensions beyond the paper)."""
 
-import pytest
 
 from repro.experiments.ablations import (
     exact_threshold_ablation,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.exceptions import GraphError, VertexNotFoundError
-from repro.graph.generators import cycle_graph, path_graph, star_graph
 from repro.reachability.analytic import (
     is_mono_connected,
     mono_connected_expected_flow,

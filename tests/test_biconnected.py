@@ -14,7 +14,7 @@ from repro.algorithms.biconnected import (
     bridges,
 )
 from repro.exceptions import VertexNotFoundError
-from repro.graph.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.graph.generators import erdos_renyi_graph, path_graph
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.types import Edge
 

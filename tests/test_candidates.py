@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import VertexNotFoundError
-from repro.graph.generators import path_graph, star_graph
+from repro.graph.generators import path_graph
 from repro.selection.candidates import CandidateManager
 from repro.types import Edge
 

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import json
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the dataset registry and the real-world surrogates."""
 
-import math
 
 import pytest
 

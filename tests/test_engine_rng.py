@@ -10,7 +10,6 @@ selection registry it mirrors.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ExperimentError, SampleSizeError, VertexNotFoundError
@@ -120,6 +119,22 @@ class TestComponentSamplerRewiring:
     def test_default_backend_is_registry_default(self):
         sampler = ComponentSampler(n_samples=10)
         assert sampler._engine.backend.name == DEFAULT_BACKEND
+
+
+class TestHitFrequencies:
+    def test_bulk_matches_per_vertex_hit_frequency(self, medium_graph):
+        batch = SamplingEngine().sample_worlds(medium_graph, 0, 200, seed=6)
+        vertices = list(medium_graph.vertices())
+        bulk = batch.hit_frequencies(vertices)
+        for vertex, frequency in zip(vertices, bulk):
+            assert float(frequency) == batch.hit_frequency(vertex)
+
+    def test_unknown_vertices_report_zero_in_input_order(self, medium_graph):
+        batch = SamplingEngine().sample_worlds(medium_graph, 0, 50, seed=6)
+        bulk = batch.hit_frequencies(["missing", 0, "also-missing"])
+        assert bulk[0] == 0.0
+        assert bulk[1] == 1.0  # the source reaches itself in every world
+        assert bulk[2] == 0.0
 
 
 class TestEngineValidation:

@@ -1,6 +1,5 @@
 """Tests for the per-figure experiment reproductions (smoke-scale configurations)."""
 
-import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import (

@@ -5,7 +5,7 @@ import pytest
 from repro.exceptions import FTreeInvariantError
 from repro.ftree.components import BiConnectedComponent, MonoConnectedComponent
 from repro.ftree.sampler import ComponentSampler
-from repro.graph.generators import path_graph, cycle_graph
+from repro.graph.generators import path_graph
 from repro.types import Edge
 
 

@@ -6,7 +6,7 @@ from repro.ftree.builder import build_ftree
 from repro.ftree.ftree import FTree
 from repro.ftree.memo import MemoCache
 from repro.ftree.sampler import ComponentSampler
-from repro.graph.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.graph.generators import cycle_graph, path_graph
 from repro.reachability.exact import exact_expected_flow
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.exceptions import SampleSizeError
 from repro.ftree.memo import MemoCache
 from repro.ftree.sampler import ComponentSampler
-from repro.graph.generators import complete_graph, cycle_graph
+from repro.graph.generators import cycle_graph
 from repro.reachability.exact import exact_reachability_all
 from repro.types import Edge
 

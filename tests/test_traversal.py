@@ -11,7 +11,7 @@ from repro.algorithms.traversal import (
     shortest_hop_path,
 )
 from repro.exceptions import VertexNotFoundError
-from repro.graph.generators import erdos_renyi_graph, path_graph
+from repro.graph.generators import erdos_renyi_graph
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.types import Edge
 

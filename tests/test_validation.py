@@ -5,7 +5,7 @@ import pytest
 from repro.exceptions import GraphError
 from repro.graph.generators import erdos_renyi_graph, path_graph
 from repro.graph.uncertain_graph import UncertainGraph
-from repro.graph.validation import GraphStats, graph_stats, validate_graph
+from repro.graph.validation import graph_stats, validate_graph
 
 
 class TestValidateGraph:
