@@ -15,10 +15,12 @@ run.
 from __future__ import annotations
 
 import os
+import platform
 from typing import Dict, Optional
 
 from repro.experiments.harness import evaluate_flow, pick_query_vertex
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.plan import DEFAULT_SHARD_SIZE
 from repro.selection.registry import make_selector
 from repro.types import VertexId
 
@@ -29,6 +31,28 @@ def bench_scale() -> float:
         return max(0.1, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
     except ValueError:
         return 1.0
+
+
+def bench_environment(
+    workers: Optional[int] = None, shard_size: Optional[int] = None
+) -> Dict[str, object]:
+    """Machine/parallelism context attached to every BENCH JSON payload.
+
+    Perf trajectories are only comparable across machines when the
+    payload says how many cores the run had and how the sampling was
+    sharded — a 4-worker speedup measured on a 1-core container is not a
+    regression, it is a different machine.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "shard_size": (
+            shard_size if shard_size is not None else (DEFAULT_SHARD_SIZE if workers else None)
+        ),
+        "bench_scale": bench_scale(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def scaled(value: int, minimum: int = 4) -> int:
@@ -76,3 +100,5 @@ def run_selection_benchmark(
     benchmark.extra_info["budget"] = budget
     benchmark.extra_info["expected_flow"] = round(flow, 4)
     benchmark.extra_info["edges_selected"] = result.n_selected
+    for key, value in bench_environment().items():
+        benchmark.extra_info[key] = value

@@ -32,6 +32,7 @@ import time
 from pathlib import Path
 from typing import List
 
+from _helpers import bench_environment
 from repro.graph.generators import erdos_renyi_graph
 from repro.reachability.backends import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.selection.greedy_naive import NaiveGreedySelector
@@ -147,6 +148,7 @@ def main(argv=None) -> int:
         "n_samples": n_samples,
         "budget": budget,
         "target_speedup": TARGET_SPEEDUP,
+        "environment": bench_environment(),
         "rows": rows,
     }
     exit_code = 0

@@ -43,6 +43,28 @@ from repro.experiments.reporting import format_table
 #     context = EvaluationContext(graph, query, n_samples=1000, seed=7)
 #     scores = context.score_candidates(selected_edges, candidate_edges)
 #     index, edge, flow = scores.best()
+#
+# Sampling scales across cores through repro.parallel: requests are split
+# into fixed-size shards, each shard draws from its own SeedSequence-
+# spawned child stream, and an executor fans the shards out — results are
+# bit-for-bit identical for any worker count at a fixed (seed, n_samples,
+# shard_size).  Pass a worker count (or a shared ProcessExecutor) to the
+# estimators and selectors, ExperimentConfig(workers=...), or --workers
+# on the CLI:
+#
+#     from repro import ProcessExecutor
+#     with ProcessExecutor(4) as pool:
+#         selector = make_selector("FT+M", n_samples=1000, seed=7, executor=pool)
+#
+# And instead of a fixed sample budget, n_samples="auto" keeps drawing
+# shards only until the confidence interval is tight enough:
+#
+#     from repro import AdaptiveSettings
+#     from repro.reachability import monte_carlo_reachability
+#     estimate = monte_carlo_reachability(
+#         graph, query, target, n_samples="auto", seed=7,
+#         adaptive=AdaptiveSettings(target_width=0.02, max_samples=5000),
+#     )
 
 
 def main() -> None:
@@ -79,6 +101,22 @@ def main() -> None:
         "spanning tree at the same edge budget.  With the default CRN candidate scoring\n"
         "even the Naive whole-graph greedy is fast here; rerun with crn=False to see\n"
         "the paper's literal per-candidate resampling cost."
+    )
+
+    # 4. adaptive sampling: stop as soon as the estimate is tight enough
+    #    instead of always paying a fixed budget
+    from repro import AdaptiveSettings
+    from repro.reachability import monte_carlo_reachability
+
+    target = next(iter(graph.neighbors(query)))
+    settings = AdaptiveSettings(target_width=0.05, alpha=0.05, max_samples=4000)
+    estimate = monte_carlo_reachability(
+        graph, query, target, n_samples="auto", seed=7, adaptive=settings
+    )
+    print(
+        f"\nAdaptive sampling: P({query} <-> {target}) = {estimate.probability:.3f} "
+        f"pinned to a {settings.target_width}-wide CI after {estimate.n_samples} of "
+        f"{settings.max_samples} allowed worlds."
     )
 
 

@@ -27,6 +27,9 @@ The package is organised as:
   paper's evaluation;
 * :mod:`repro.datasets` — named datasets (synthetic surrogates of the
   paper's real networks);
+* :mod:`repro.parallel` — sharded possible-world sampling with
+  deterministic seed-splitting, process-pool executors and adaptive
+  CI-driven stopping;
 * :mod:`repro.experiments` — the harness that regenerates every figure
   of the evaluation section.
 """
@@ -48,6 +51,12 @@ from repro.reachability import (
     monte_carlo_expected_flow,
     exact_expected_flow,
     mono_connected_expected_flow,
+)
+from repro.parallel import (
+    AdaptiveSettings,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
 )
 from repro.ftree import FTree, ComponentSampler, MemoCache, build_ftree
 from repro.selection import (
@@ -79,6 +88,10 @@ __all__ = [
     "monte_carlo_expected_flow",
     "exact_expected_flow",
     "mono_connected_expected_flow",
+    "AdaptiveSettings",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "make_executor",
     "FTree",
     "ComponentSampler",
     "MemoCache",

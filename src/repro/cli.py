@@ -25,9 +25,32 @@ from repro.experiments.harness import evaluate_flow, pick_query_vertex
 from repro.experiments.reporting import format_table, rows_to_csv
 from repro.graph.io import read_json, write_json
 from repro.graph.validation import graph_stats
+from repro.parallel.executor import set_default_executor
+from repro.parallel.plan import set_default_shard_size
 from repro.reachability.backends import BACKEND_NAMES, DEFAULT_BACKEND, set_default_backend
 from repro.selection.registry import ALGORITHM_NAMES, make_selector, set_default_crn
 from repro.types import Edge
+
+
+_WORKERS_HELP = (
+    "worker processes for sharded possible-world sampling (default: "
+    "unsharded single-process; results are identical for any worker "
+    "count at a fixed seed and shard size)"
+)
+_SHARD_SIZE_HELP = "possible worlds per shard when --workers is set"
+
+
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None, help=_WORKERS_HELP)
+    parser.add_argument("--shard-size", type=int, default=None, help=_SHARD_SIZE_HELP)
+
+
+def _validate_parallel_flags(args: argparse.Namespace) -> None:
+    """Fail fast with a clean message instead of a deep-stack traceback."""
+    if args.workers is not None and args.workers <= 0:
+        raise SystemExit(f"--workers must be positive, got {args.workers}")
+    if args.shard_size is not None and args.shard_size <= 0:
+        raise SystemExit(f"--shard-size must be positive, got {args.shard_size}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable common-random-numbers scoring: redraw a fresh world batch "
              "per probed candidate (the paper's literal, slower reference mode)",
     )
+    _add_parallel_flags(select)
     select.add_argument("--out", type=Path, default=None, help="write selected edges to this file")
 
     evaluate = subparsers.add_parser("evaluate", help="evaluate the expected flow of a selected edge set")
@@ -72,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=BACKEND_NAMES, default=DEFAULT_BACKEND,
         help="possible-world sampling backend",
     )
+    _add_parallel_flags(evaluate)
 
     experiment = subparsers.add_parser("experiment", help="reproduce one of the paper's figures")
     experiment.add_argument(
@@ -89,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every sampling-based selector in the per-candidate "
              "resampling reference mode instead of the CRN default",
     )
+    _add_parallel_flags(experiment)
     experiment.add_argument(
         "--output-dir", type=Path, default=None,
         help="write one CSV per figure (plus SUMMARY.md) into this directory",
@@ -121,6 +147,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_select(args: argparse.Namespace) -> int:
+    _validate_parallel_flags(args)
     graph = read_json(args.graph)
     query = _parse_vertex(args.query, graph)
     selector = make_selector(
@@ -129,12 +156,16 @@ def _command_select(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         crn=not args.resample_per_candidate,
+        executor=args.workers,
+        shard_size=args.shard_size,
     )
     result = selector.select(graph, query, args.budget)
     print(f"algorithm      : {result.algorithm}")
     print(f"query vertex   : {query}")
     print(f"backend        : {args.backend}")
     print(f"sampling mode  : {'resample-per-candidate' if args.resample_per_candidate else 'crn'}")
+    workers = "unsharded" if args.workers is None else str(args.workers)
+    print(f"workers        : {workers}")
     print(f"edges selected : {result.n_selected} / budget {args.budget}")
     print(f"expected flow  : {result.expected_flow:.4f}")
     print(f"runtime        : {result.elapsed_seconds:.3f}s")
@@ -170,11 +201,19 @@ def _read_edge_file(path: Path, graph) -> List[Edge]:
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
+    _validate_parallel_flags(args)
     graph = read_json(args.graph)
     query = _parse_vertex(args.query, graph)
     edges = _read_edge_file(args.edges, graph)
     flow = evaluate_flow(
-        graph, edges, query, n_samples=args.samples, seed=args.seed, backend=args.backend
+        graph,
+        edges,
+        query,
+        n_samples=args.samples,
+        seed=args.seed,
+        backend=args.backend,
+        executor=args.workers,
+        shard_size=args.shard_size,
     )
     print(f"query vertex  : {query}")
     print(f"edges         : {len(edges)}")
@@ -194,6 +233,30 @@ def _figure_rows(result) -> List[dict]:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
+    # validate before touching the process-wide defaults, so a bad value
+    # cannot leave a pool installed (or leak worker processes)
+    _validate_parallel_flags(args)
+    if args.workers is None:
+        if args.shard_size is not None:
+            print("note: --shard-size has no effect without --workers", file=sys.stderr)
+        return _command_experiment_crn(args)
+    # redirect every executor=None resolution, so per-figure default
+    # configurations shard their sampling over one shared pool
+    previous_executor = set_default_executor(args.workers)
+    previous_shard = (
+        set_default_shard_size(args.shard_size) if args.shard_size is not None else None
+    )
+    try:
+        return _command_experiment_crn(args)
+    finally:
+        if previous_shard is not None:
+            set_default_shard_size(previous_shard)
+        closing = set_default_executor(previous_executor)
+        if closing is not None:
+            closing.close()
+
+
+def _command_experiment_crn(args: argparse.Namespace) -> int:
     if args.resample_per_candidate:
         # redirect every crn=None resolution, so per-figure default
         # configurations honour the flag too

@@ -102,6 +102,16 @@ class ExperimentConfig:
         (:func:`repro.selection.registry.get_default_crn`, normally
         True); ``False`` forces the per-candidate resampling reference
         mode everywhere.
+    workers:
+        Worker processes for sharded possible-world sampling (see
+        :mod:`repro.parallel`): ``None`` keeps the historical unsharded
+        single-process sampling, ``1`` the sharded serial reference,
+        larger counts a shared process pool.  Estimates and selections
+        are bit-for-bit identical for any worker count given the same
+        ``(seed, n_samples, shard_size)``.
+    shard_size:
+        Worlds per shard when ``workers`` is set (``None`` uses
+        :data:`repro.parallel.DEFAULT_SHARD_SIZE`).
     """
 
     n_vertices: int = 300
@@ -116,6 +126,8 @@ class ExperimentConfig:
     include_query: bool = False
     backend: Optional[str] = None
     crn: Optional[bool] = None
+    workers: Optional[int] = None
+    shard_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_vertices <= 0:
@@ -130,6 +142,10 @@ class ExperimentConfig:
             raise ExperimentError(
                 f"unknown sampling backend {self.backend!r}; expected one of {backend_names()}"
             )
+        if self.workers is not None and self.workers <= 0:
+            raise ExperimentError(f"workers must be positive, got {self.workers!r}")
+        if self.shard_size is not None and self.shard_size <= 0:
+            raise ExperimentError(f"shard_size must be positive, got {self.shard_size!r}")
 
     def scaled(self, factor: float) -> "ExperimentConfig":
         """Return a copy with graph size and budget scaled by ``factor``."""

@@ -17,6 +17,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.ftree.builder import build_ftree
 from repro.ftree.sampler import ComponentSampler
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.executor import ExecutorLike, make_executor
 from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike, derive_seed
 from repro.selection.base import SelectionResult
@@ -59,6 +60,8 @@ def evaluate_flow(
     seed: SeedLike = 12345,
     include_query: bool = False,
     backend: BackendLike = None,
+    executor: ExecutorLike = None,
+    shard_size: Optional[int] = None,
 ) -> float:
     """Independently evaluate the expected flow of a selected edge set.
 
@@ -67,7 +70,12 @@ def evaluate_flow(
     same yardstick is applied to every algorithm's output.
     """
     sampler = ComponentSampler(
-        n_samples=n_samples, exact_threshold=exact_threshold, seed=seed, backend=backend
+        n_samples=n_samples,
+        exact_threshold=exact_threshold,
+        seed=seed,
+        backend=backend,
+        executor=executor,
+        shard_size=shard_size,
     )
     ftree = build_ftree(graph, list(edges), query, sampler=sampler)
     return ftree.expected_flow(include_query=include_query)
@@ -97,6 +105,25 @@ def run_algorithms(
 ) -> List[AlgorithmRun]:
     """Run every named algorithm on ``graph`` and evaluate the results uniformly."""
     config = config or ExperimentConfig()
+    # one executor instance for the whole run, so every selector (and the
+    # shared evaluation yardstick) reuses a single process pool
+    executor = make_executor(config.workers)
+    try:
+        return _run_algorithms(graph, query, budget, algorithms, config, seed, executor)
+    finally:
+        if executor is not None:
+            executor.close()
+
+
+def _run_algorithms(
+    graph: UncertainGraph,
+    query: VertexId,
+    budget: int,
+    algorithms: Sequence[str],
+    config: ExperimentConfig,
+    seed: SeedLike,
+    executor,
+) -> List[AlgorithmRun]:
     runs: List[AlgorithmRun] = []
     for index, name in enumerate(algorithms):
         algorithm_seed = derive_seed(seed, index + 1)
@@ -109,6 +136,8 @@ def run_algorithms(
             include_query=config.include_query,
             backend=config.backend,
             crn=config.crn,
+            executor=executor,
+            shard_size=config.shard_size,
         )
         started = time.perf_counter()
         result: SelectionResult = selector.select(graph, query, budget)
@@ -122,6 +151,8 @@ def run_algorithms(
             seed=derive_seed(seed, 10_000 + index),
             include_query=config.include_query,
             backend=config.backend,
+            executor=executor,
+            shard_size=config.shard_size,
         )
         runs.append(
             AlgorithmRun(

@@ -37,6 +37,7 @@ from repro.exceptions import SampleSizeError
 from repro.ftree.memo import MemoCache, MemoEntry, content_digest
 from repro.graph.possible_world import enumerate_worlds
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.executor import ExecutorLike
 from repro.reachability.backends import BackendLike
 from repro.reachability.engine import SamplingEngine
 from repro.rng import SeedLike, ensure_rng
@@ -77,6 +78,15 @@ class ComponentSampler:
         Common-random-numbers mode (see the module docstring).  Off by
         default so directly constructed samplers keep the sequential
         reference stream; the greedy selectors enable it per default.
+    executor:
+        Sharded-sampling executor or worker count (see
+        :mod:`repro.parallel`): the Monte-Carlo stream of every sampled
+        component is split into per-shard child streams and fanned out.
+        ``None`` keeps the unsharded single-process stream; with an
+        executor, estimates are bit-for-bit identical for any worker
+        count given ``(seed, n_samples, shard_size)``.
+    shard_size:
+        Worlds per shard for the executor path.
     """
 
     def __init__(
@@ -87,6 +97,8 @@ class ComponentSampler:
         memo: Optional[MemoCache] = None,
         backend: BackendLike = None,
         crn: bool = False,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
     ) -> None:
         if n_samples <= 0:
             raise SampleSizeError(n_samples)
@@ -96,7 +108,7 @@ class ComponentSampler:
         self.exact_threshold = int(exact_threshold)
         self.memo = memo
         self.crn = bool(crn)
-        self._engine = SamplingEngine(backend)
+        self._engine = SamplingEngine(backend, executor=executor, shard_size=shard_size)
         self._rng = ensure_rng(seed)
         self._round = 0
         # the CRN base key: reuse an integer seed directly so estimates

@@ -1,0 +1,223 @@
+"""Sampling executors: serial reference and process-pool fan-out.
+
+An executor runs the shards of one :class:`~repro.parallel.plan.ShardPlan`
+and returns the partial results **in shard order**.  Every shard is a
+self-contained :class:`ShardTask` — the indexed sampling problem, the
+shard's world count, its own pre-split child seed and the backend to run
+— so a shard computes the same ``(n_samples, …)`` block no matter which
+worker executes it or when.  Collecting in shard order is what turns
+that into the subsystem's hard guarantee: the reduced result is
+bit-for-bit identical for any worker count.
+
+:class:`SerialExecutor` is the executable specification (shards run
+in-process, in order); :class:`ProcessExecutor` fans the same tasks out
+over a :class:`concurrent.futures.ProcessPoolExecutor` and is pinned
+against the serial reference by the worker-count invariance tests.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.reachability.backends.base import SamplingProblem, sample_flips
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard of a sampling request, ready to run on any worker.
+
+    Attributes
+    ----------
+    problem:
+        The indexed sampling problem (shared by all shards of a request).
+    n_samples:
+        Worlds this shard draws.
+    seed:
+        The shard's pre-split child seed sequence (see
+        :func:`repro.rng.split_seed_sequences`); owning its own seed is
+        what makes the shard relocatable across workers.
+    backend:
+        Backend whose ``sample_reachability`` the shard runs, or ``None``
+        to draw the raw edge-flip matrix instead (the
+        :class:`~repro.reachability.engine.FlipBatch` path).
+    """
+
+    problem: SamplingProblem
+    n_samples: int
+    seed: np.random.SeedSequence
+    backend: Optional[object] = None
+
+
+def run_shard(task: ShardTask) -> np.ndarray:
+    """Execute one shard; the single entry point every executor dispatches.
+
+    Module-level (and operating only on the picklable task) so process
+    pools can ship it to workers unchanged.
+    """
+    rng = np.random.default_rng(task.seed)
+    if task.backend is None:
+        return sample_flips(task.problem, task.n_samples, rng)
+    return task.backend.sample_reachability(task.problem, task.n_samples, rng)
+
+
+class SamplingExecutor(ABC):
+    """Runs shard tasks and returns their results in shard order."""
+
+    #: worker count the executor fans out over (1 for the serial reference)
+    workers: int = 1
+
+    @abstractmethod
+    def map_shards(self, tasks: Sequence[ShardTask]) -> List[np.ndarray]:
+        """Run every task and return the per-shard arrays in task order."""
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent; a no-op by default)."""
+
+    def __enter__(self) -> "SamplingExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(SamplingExecutor):
+    """The reference executor: shards run in-process, in shard order.
+
+    Produces exactly the output every parallel executor is pinned
+    against — same shards, same child seeds, same reduction order — so
+    ``SerialExecutor`` versus ``ProcessExecutor(n)`` is purely a
+    wall-clock choice.
+    """
+
+    workers = 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<SerialExecutor>"
+
+    def map_shards(self, tasks: Sequence[ShardTask]) -> List[np.ndarray]:
+        return [run_shard(task) for task in tasks]
+
+
+class ProcessExecutor(SamplingExecutor):
+    """Fans shards out over a lazily created process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (defaults to the machine's CPU count).
+
+    The pool is created on first use and reused across calls; call
+    :meth:`close` (or use the executor as a context manager) to release
+    the worker processes.  Results are collected in submission order, so
+    the reduction is independent of which worker finishes first.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        resolved = int(workers) if workers is not None else (os.cpu_count() or 1)
+        if resolved <= 0:
+            raise ValueError(f"workers must be positive, got {workers!r}")
+        self.workers = resolved
+        self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ProcessExecutor workers={self.workers}>"
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import concurrent.futures
+            import multiprocessing
+
+            # fork (where available) avoids re-importing NumPy per worker;
+            # the result is identical either way because every shard
+            # carries its own seed
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context("fork" if "fork" in methods else None)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool
+
+    def map_shards(self, tasks: Sequence[ShardTask]) -> List[np.ndarray]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        return list(pool.map(run_shard, tasks, chunksize=1))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Accepted forms of an executor specification: ``None`` (no sharding /
+#: defer to the process-wide default), a worker count (1 -> serial,
+#: > 1 -> process pool), or an executor instance.
+ExecutorLike = Union[None, int, SamplingExecutor]
+
+
+def make_executor(executor: ExecutorLike) -> Optional[SamplingExecutor]:
+    """Resolve an executor spec into an instance (or ``None`` for unsharded).
+
+    Integer specs mean a worker count: ``1`` builds the serial reference
+    executor (sharded seed-splitting, no processes), anything larger a
+    :class:`ProcessExecutor`.  Instances pass through unchanged so one
+    pool can be shared across engines, contexts and samplers.
+    """
+    if executor is None:
+        return None
+    if isinstance(executor, SamplingExecutor):
+        return executor
+    if isinstance(executor, bool):
+        raise TypeError("executor must be a worker count or SamplingExecutor, not bool")
+    if isinstance(executor, int):
+        if executor <= 0:
+            raise ValueError(f"worker count must be positive, got {executor!r}")
+        return SerialExecutor() if executor == 1 else ProcessExecutor(executor)
+    raise TypeError(f"cannot interpret {executor!r} as a sampling executor")
+
+
+_default_executor: Optional[SamplingExecutor] = None
+
+
+def get_default_executor() -> Optional[SamplingExecutor]:
+    """Return the executor every unspecified ``executor=None`` resolves to.
+
+    ``None`` — the initial state — means sampling stays unsharded
+    single-process, i.e. exactly the pre-subsystem behaviour.
+    """
+    return _default_executor
+
+
+def set_default_executor(executor: ExecutorLike) -> Optional[SamplingExecutor]:
+    """Override the process-wide default executor; returns the previous one.
+
+    Mirrors :func:`repro.reachability.backends.set_default_backend`: it
+    lets entry points (e.g. the CLI's ``--workers`` flag) redirect every
+    unspecified ``executor=None`` resolution — including code paths that
+    build their own default configurations — without threading the
+    choice through each call site.  Pass ``None`` to restore unsharded
+    sampling.
+    """
+    global _default_executor
+    previous = _default_executor
+    _default_executor = make_executor(executor)
+    return previous
+
+
+def resolve_executor(executor: ExecutorLike) -> Optional[SamplingExecutor]:
+    """Resolve a call-site spec, falling back to the process-wide default."""
+    if executor is None:
+        return _default_executor
+    return make_executor(executor)

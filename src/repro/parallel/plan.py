@@ -1,0 +1,92 @@
+"""Shard planning: how one sampling request splits into fixed-size pieces.
+
+A :class:`ShardPlan` is pure arithmetic — ``n_samples`` worlds split
+into ``ceil(n_samples / shard_size)`` shards, every shard full except
+possibly the last — and is therefore identical for every executor and
+worker count.  The plan's shard count is what the deterministic
+seed-splitting keys on (shard ``i`` always receives child seed ``i``),
+so the plan is part of the reproducibility contract: results are a
+function of ``(seed, n_samples, shard_size)`` and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+#: Default worlds per shard.  Small enough that a paper-scale request
+#: (1000-5000 samples) splits into enough shards to keep several workers
+#: busy, large enough that per-shard dispatch overhead stays negligible.
+DEFAULT_SHARD_SIZE = 256
+
+_default_shard_size = DEFAULT_SHARD_SIZE
+
+
+def get_default_shard_size() -> int:
+    """Return the shard size every unspecified ``shard_size=None`` resolves to."""
+    return _default_shard_size
+
+
+def set_default_shard_size(shard_size: int) -> int:
+    """Override the process-wide default shard size; returns the previous one.
+
+    Mirrors :func:`repro.reachability.backends.set_default_backend` so
+    entry points (the CLI's ``--shard-size`` flag) can redirect every
+    unspecified resolution.  Remember that shard size is part of the
+    determinism key: changing it re-keys the per-shard seed split.
+    """
+    global _default_shard_size
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size!r}")
+    previous = _default_shard_size
+    _default_shard_size = int(shard_size)
+    return previous
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The split of ``n_samples`` worlds into fixed-size shards.
+
+    Attributes
+    ----------
+    n_samples:
+        Total number of worlds requested (may be zero).
+    shard_size:
+        Worlds per shard; every shard holds exactly this many except
+        possibly the last one, which holds the remainder.
+    """
+
+    n_samples: int
+    shard_size: int
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 0:
+            raise ValueError(f"n_samples must be non-negative, got {self.n_samples!r}")
+        if self.shard_size <= 0:
+            raise ValueError(f"shard_size must be positive, got {self.shard_size!r}")
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (zero when no samples were requested)."""
+        return -(-self.n_samples // self.shard_size)
+
+    @property
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Per-shard world counts, in shard order; sums to ``n_samples``."""
+        full, remainder = divmod(self.n_samples, self.shard_size)
+        sizes = [self.shard_size] * full
+        if remainder:
+            sizes.append(remainder)
+        return tuple(sizes)
+
+    def offsets(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(start, stop)`` sample offsets per shard, in shard order."""
+        start = 0
+        for size in self.shard_sizes:
+            yield start, start + size
+            start += size
+
+
+def plan_shards(n_samples: int, shard_size: int = DEFAULT_SHARD_SIZE) -> ShardPlan:
+    """Build the shard plan for a sampling request (validates both inputs)."""
+    return ShardPlan(n_samples=int(n_samples), shard_size=int(shard_size))

@@ -147,6 +147,23 @@ def wilson_confidence_interval(
     )
 
 
+#: Binomial-proportion interval functions by method name — the single
+#: registry behind ``method=`` arguments (flow intervals, adaptive
+#: stopping); add new methods here and every consumer picks them up.
+PROPORTION_INTERVAL_METHODS = {
+    "normal": normal_confidence_interval,
+    "wilson": wilson_confidence_interval,
+}
+
+
+def proportion_interval_function(method: str):
+    """Look up a binomial-proportion interval function by method name."""
+    try:
+        return PROPORTION_INTERVAL_METHODS[method]
+    except KeyError:
+        raise ValueError(f"unknown confidence interval method {method!r}") from None
+
+
 def flow_confidence_interval(
     reachability_counts: Mapping[VertexId, int],
     n_samples: int,
@@ -179,12 +196,7 @@ def flow_confidence_interval(
     method:
         ``"normal"`` (Definition 10) or ``"wilson"``.
     """
-    interval_fn = {
-        "normal": normal_confidence_interval,
-        "wilson": wilson_confidence_interval,
-    }.get(method)
-    if interval_fn is None:
-        raise ValueError(f"unknown confidence interval method {method!r}")
+    interval_fn = proportion_interval_function(method)
     estimate = exact_contribution
     lower = exact_contribution
     upper = exact_contribution

@@ -40,12 +40,13 @@ Typical use (one call per greedy round)::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import SampleSizeError, VertexNotFoundError
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.executor import ExecutorLike
 from repro.reachability.backends import BackendLike
 from repro.reachability.engine import SamplingEngine
 from repro.rng import SeedLike, ensure_rng
@@ -120,6 +121,16 @@ class EvaluationContext:
         backends for the same seed.
     include_query:
         Whether the query vertex's own weight counts towards the flow.
+    executor:
+        Sharded-sampling executor or worker count (see
+        :mod:`repro.parallel`).  When active, each round's shared flip
+        matrix is drawn shard by shard from per-shard child seeds — a
+        different (equally valid) stream than the unsharded default,
+        but bit-for-bit identical for any worker count given
+        ``(seed, n_samples, shard_size)``, so selections stay
+        reproducible when scaling across cores.
+    shard_size:
+        Worlds per shard for the executor path.
     """
 
     def __init__(
@@ -130,6 +141,8 @@ class EvaluationContext:
         seed: SeedLike = None,
         backend: BackendLike = None,
         include_query: bool = False,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
     ) -> None:
         if not graph.has_vertex(source):
             raise VertexNotFoundError(source)
@@ -139,7 +152,7 @@ class EvaluationContext:
         self.source = source
         self.n_samples = int(n_samples)
         self.include_query = include_query
-        self._engine = SamplingEngine(backend)
+        self._engine = SamplingEngine(backend, executor=executor, shard_size=shard_size)
         self._rng = ensure_rng(seed)
         #: number of completed scoring rounds (diagnostics)
         self.rounds = 0

@@ -24,12 +24,22 @@ harness pins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import SampleSizeError, VertexNotFoundError
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.adaptive import AUTO_SAMPLES, AdaptiveSettings, shard_rounds
+from repro.parallel.executor import (
+    ExecutorLike,
+    SamplingExecutor,
+    SerialExecutor,
+    ShardTask,
+    make_executor,
+    resolve_executor,
+)
+from repro.parallel.plan import get_default_shard_size, plan_shards
 from repro.reachability.backends import BackendLike, make_backend
 from repro.reachability.backends.base import (
     SamplingBackend,
@@ -37,9 +47,20 @@ from repro.reachability.backends.base import (
     propagate_reachability_fallback,
     sample_flips,
 )
+from repro.reachability.confidence import (
+    flow_confidence_interval,
+    proportion_interval_function,
+)
 from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
-from repro.rng import SeedLike, ensure_rng
+from repro.rng import SeedLike, ensure_rng, split_seed_sequences
 from repro.types import Edge, VertexId
+
+#: Sample-count specification: a positive integer budget, or
+#: :data:`~repro.parallel.adaptive.AUTO_SAMPLES` for CI-driven stopping.
+SampleSpec = Union[int, str]
+
+#: Shared in-process executor for sharded paths that were not handed one.
+_SERIAL_EXECUTOR = SerialExecutor()
 
 
 @dataclass(frozen=True, eq=False)
@@ -136,13 +157,75 @@ class SamplingEngine:
         A backend name from :data:`repro.reachability.backends.BACKEND_NAMES`,
         an already constructed backend instance, or ``None`` for the
         default (:data:`repro.reachability.backends.DEFAULT_BACKEND`).
+    executor:
+        Sharded-sampling executor (see :mod:`repro.parallel`): ``None``
+        defers to the process-wide default (normally unsharded
+        single-stream sampling, the historical behaviour), an integer is
+        a worker count, or pass a :class:`~repro.parallel.executor.SamplingExecutor`
+        instance to share one pool across engines.
+    shard_size:
+        Worlds per shard when an executor is active (``None`` uses
+        :data:`~repro.parallel.plan.DEFAULT_SHARD_SIZE`).  Part of the
+        determinism key: results are a pure function of
+        ``(seed, n_samples, shard_size)`` and never of worker count.
     """
 
-    def __init__(self, backend: BackendLike = None) -> None:
+    def __init__(
+        self,
+        backend: BackendLike = None,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
+    ) -> None:
         self.backend: SamplingBackend = make_backend(backend)
+        self.executor: Optional[SamplingExecutor] = make_executor(executor)
+        self.shard_size = shard_size
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<SamplingEngine backend={self.backend.name!r}>"
+
+    # ------------------------------------------------------------------
+    # executor / shard plumbing
+    # ------------------------------------------------------------------
+    def _resolve_executor(self, executor: ExecutorLike) -> Optional[SamplingExecutor]:
+        """Call-level spec beats the engine's executor beats the global default."""
+        if executor is not None:
+            return make_executor(executor)
+        if self.executor is not None:
+            return self.executor
+        return resolve_executor(None)
+
+    def _resolve_shard_size(self, shard_size: Optional[int]) -> int:
+        resolved = shard_size if shard_size is not None else self.shard_size
+        return int(resolved) if resolved is not None else get_default_shard_size()
+
+    def _run_sharded(
+        self,
+        problem: SamplingProblem,
+        n_samples: int,
+        seed: SeedLike,
+        executor: SamplingExecutor,
+        shard_size: Optional[int],
+        backend: Optional[SamplingBackend],
+    ) -> np.ndarray:
+        """Split one request into seeded shard tasks and reduce in order.
+
+        ``backend=None`` draws raw flip matrices, otherwise reachability
+        matrices.  Deterministic per ``(seed, n_samples, shard_size)``:
+        shard ``i`` runs on the ``i``-th spawned child seed and the
+        partial results are concatenated in shard order, so worker count
+        and completion order never influence the reduction.
+        """
+        plan = plan_shards(n_samples, self._resolve_shard_size(shard_size))
+        children = split_seed_sequences(seed, plan.n_shards)
+        tasks = [
+            ShardTask(problem=problem, n_samples=size, seed=child, backend=backend)
+            for size, child in zip(plan.shard_sizes, children)
+        ]
+        parts = executor.map_shards(tasks)
+        width = problem.n_edges if backend is None else problem.n_vertices
+        if not parts:
+            return np.zeros((0, width), dtype=bool)
+        return np.vstack(parts)
 
     # ------------------------------------------------------------------
     # core: draw a batch of worlds
@@ -155,6 +238,8 @@ class SamplingEngine:
         seed: SeedLike = None,
         edges: Optional[Iterable[Edge]] = None,
         extra_vertices: Iterable[VertexId] = (),
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
     ) -> WorldBatch:
         """Draw ``n_samples`` worlds and compute reachability from ``source``.
 
@@ -175,14 +260,32 @@ class SamplingEngine:
         extra_vertices:
             Vertices to index even when no restricted edge touches them
             (e.g. the isolated targets of a component estimate).
+        executor:
+            Sharded-sampling executor override (see :mod:`repro.parallel`).
+            With an active executor the batch is drawn shard by shard
+            from per-shard child seeds — a different (equally valid)
+            stream than the unsharded path, but bit-for-bit identical
+            for any worker count given ``(seed, n_samples, shard_size)``.
+            Note an *integer* spec here builds (and tears down) a fresh
+            executor per call — for repeated calls pass an executor
+            instance, or set one at engine construction, so the process
+            pool is reused.
+        shard_size:
+            Worlds per shard for the executor path.
         """
         if n_samples <= 0:
             raise SampleSizeError(n_samples)
-        rng = ensure_rng(seed)
         problem = SamplingProblem.from_edges(
             _restricted_edges(graph, edges), source, extra_vertices=extra_vertices
         )
-        reached = self.backend.sample_reachability(problem, int(n_samples), rng)
+        active = self._resolve_executor(executor)
+        if active is None:
+            rng = ensure_rng(seed)
+            reached = self.backend.sample_reachability(problem, int(n_samples), rng)
+        else:
+            reached = self._run_sharded(
+                problem, int(n_samples), seed, active, shard_size, self.backend
+            )
         return WorldBatch(problem=problem, reached=reached)
 
     # ------------------------------------------------------------------
@@ -196,6 +299,8 @@ class SamplingEngine:
         seed: SeedLike = None,
         edges: Optional[Iterable[Edge]] = None,
         extra_vertices: Iterable[VertexId] = (),
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
     ) -> FlipBatch:
         """Draw one shared edge-flip matrix without propagating it.
 
@@ -204,15 +309,84 @@ class SamplingEngine:
         implementation, so the batch is bit-for-bit identical across
         backends for the same seed — which is what lets the evaluation
         context guarantee identical candidate scores on any backend.
+        With an active ``executor`` the matrix is drawn shard by shard
+        (still backend-independent, still worker-count invariant).
         """
         if n_samples <= 0:
             raise SampleSizeError(n_samples)
-        rng = ensure_rng(seed)
         problem = SamplingProblem.from_edges(
             _restricted_edges(graph, edges), source, extra_vertices=extra_vertices
         )
-        flips = sample_flips(problem, int(n_samples), rng)
+        active = self._resolve_executor(executor)
+        if active is None:
+            rng = ensure_rng(seed)
+            flips = sample_flips(problem, int(n_samples), rng)
+        else:
+            flips = self._run_sharded(
+                problem, int(n_samples), seed, active, shard_size, backend=None
+            )
         return FlipBatch(problem=problem, flips=flips)
+
+    # ------------------------------------------------------------------
+    # adaptive (CI-driven) sampling
+    # ------------------------------------------------------------------
+    def _sample_worlds_adaptive(
+        self,
+        graph: UncertainGraph,
+        source: VertexId,
+        seed: SeedLike,
+        edges: Optional[Iterable[Edge]],
+        extra_vertices: Iterable[VertexId],
+        executor: ExecutorLike,
+        shard_size: Optional[int],
+        settings: AdaptiveSettings,
+        width_of: Callable[[SamplingProblem, np.ndarray, int], float],
+    ) -> WorldBatch:
+        """Draw shards until ``width_of(problem, hit_counts, n)`` hits the target.
+
+        The shard schedule (:func:`~repro.parallel.adaptive.shard_rounds`)
+        and the seed split depend only on ``(seed, settings, shard_size)``,
+        so the stopping point — and therefore the returned batch — is
+        identical for any worker count.
+        """
+        problem = SamplingProblem.from_edges(
+            _restricted_edges(graph, edges), source, extra_vertices=extra_vertices
+        )
+        active = self._resolve_executor(executor) or _SERIAL_EXECUTOR
+        size = self._resolve_shard_size(shard_size)
+        plan = plan_shards(settings.max_samples, size)
+        children = split_seed_sequences(seed, plan.n_shards)
+        shard_sizes = plan.shard_sizes
+
+        blocks: List[np.ndarray] = []
+        counts = np.zeros(problem.n_vertices, dtype=np.int64)
+        drawn_shards = 0
+        drawn_samples = 0
+        for round_shards in shard_rounds(settings, size):
+            tasks = [
+                ShardTask(
+                    problem=problem,
+                    n_samples=shard_sizes[index],
+                    seed=children[index],
+                    backend=self.backend,
+                )
+                for index in range(drawn_shards, drawn_shards + round_shards)
+            ]
+            parts = active.map_shards(tasks)
+            for part in parts:
+                blocks.append(part)
+                counts += part.sum(axis=0)
+                drawn_samples += part.shape[0]
+            drawn_shards += round_shards
+            if drawn_samples >= settings.min_samples:
+                if width_of(problem, counts, drawn_samples) <= settings.target_width:
+                    break
+        reached = (
+            np.vstack(blocks)
+            if blocks
+            else np.zeros((0, problem.n_vertices), dtype=bool)
+        )
+        return WorldBatch(problem=problem, reached=reached)
 
     def propagate(
         self,
@@ -240,15 +414,60 @@ class SamplingEngine:
         self,
         graph: UncertainGraph,
         query: VertexId,
-        n_samples: int = 1000,
+        n_samples: SampleSpec = 1000,
         seed: SeedLike = None,
         edges: Optional[Iterable[Edge]] = None,
         include_query: bool = False,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
+        adaptive: Optional[AdaptiveSettings] = None,
     ) -> FlowEstimate:
-        """Monte-Carlo estimate of ``E[flow(Q, G)]`` (Lemma 1)."""
+        """Monte-Carlo estimate of ``E[flow(Q, G)]`` (Lemma 1).
+
+        ``n_samples="auto"`` switches to adaptive CI-driven stopping:
+        shards of worlds are drawn until the weighted flow confidence
+        interval (:func:`repro.reachability.confidence.flow_confidence_interval`)
+        is narrower than ``adaptive.target_width`` or the
+        ``adaptive.max_samples`` cap is hit.
+        """
         if not graph.has_vertex(query):
             raise VertexNotFoundError(query)
-        batch = self.sample_worlds(graph, query, n_samples, seed=seed, edges=edges)
+        if _is_auto(n_samples):
+            settings = adaptive or AdaptiveSettings()
+            weights = graph.weights()
+
+            def flow_width(problem: SamplingProblem, counts: np.ndarray, n: int) -> float:
+                reachability_counts = {}
+                interval_weights = {}
+                for index, vertex in enumerate(problem.vertex_ids):
+                    if not include_query and index == problem.source:
+                        continue
+                    weight = float(weights.get(vertex, 0.0))
+                    if weight == 0.0:
+                        continue
+                    reachability_counts[vertex] = int(counts[index])
+                    interval_weights[vertex] = weight
+                return flow_confidence_interval(
+                    reachability_counts,
+                    n,
+                    interval_weights,
+                    alpha=settings.alpha,
+                    method=settings.method,
+                ).width
+
+            batch = self._sample_worlds_adaptive(
+                graph, query, seed, edges, (), executor, shard_size, settings, flow_width
+            )
+        else:
+            batch = self.sample_worlds(
+                graph,
+                query,
+                n_samples,
+                seed=seed,
+                edges=edges,
+                executor=executor,
+                shard_size=shard_size,
+            )
         problem, reached = batch.problem, batch.reached
         n_samples = batch.n_samples
 
@@ -282,23 +501,58 @@ class SamplingEngine:
         graph: UncertainGraph,
         source: VertexId,
         target: VertexId,
-        n_samples: int = 1000,
+        n_samples: SampleSpec = 1000,
         seed: SeedLike = None,
         edges: Optional[Iterable[Edge]] = None,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
+        adaptive: Optional[AdaptiveSettings] = None,
     ) -> ReachabilityEstimate:
-        """Monte-Carlo estimate of the two-terminal reachability ``P(source ↔ target)``."""
+        """Monte-Carlo estimate of the two-terminal reachability ``P(source ↔ target)``.
+
+        ``n_samples="auto"`` draws shards until the Wilson (or normal)
+        interval around the success fraction is narrower than
+        ``adaptive.target_width``, capped at ``adaptive.max_samples``.
+        """
         for vertex in (source, target):
             if not graph.has_vertex(vertex):
                 raise VertexNotFoundError(vertex)
-        if n_samples <= 0:
+        auto = _is_auto(n_samples)
+        if not auto and n_samples <= 0:
             raise SampleSizeError(n_samples)
         if source == target:
-            return ReachabilityEstimate(
-                probability=1.0, n_samples=n_samples, successes=n_samples
+            pinned = (adaptive or AdaptiveSettings()).min_samples if auto else n_samples
+            return ReachabilityEstimate(probability=1.0, n_samples=pinned, successes=pinned)
+        if auto:
+            settings = adaptive or AdaptiveSettings()
+            interval_fn = proportion_interval_function(settings.method)
+
+            def pair_width(problem: SamplingProblem, counts: np.ndarray, n: int) -> float:
+                successes = int(counts[problem.index_of(target)])
+                return interval_fn(successes, n, alpha=settings.alpha).width
+
+            batch = self._sample_worlds_adaptive(
+                graph,
+                source,
+                seed,
+                edges,
+                (target,),
+                executor,
+                shard_size,
+                settings,
+                pair_width,
             )
-        batch = self.sample_worlds(
-            graph, source, n_samples, seed=seed, edges=edges, extra_vertices=(target,)
-        )
+        else:
+            batch = self.sample_worlds(
+                graph,
+                source,
+                n_samples,
+                seed=seed,
+                edges=edges,
+                extra_vertices=(target,),
+                executor=executor,
+                shard_size=shard_size,
+            )
         successes = int(batch.reached[:, batch.problem.index_of(target)].sum())
         return ReachabilityEstimate(
             probability=successes / batch.n_samples,
@@ -314,6 +568,8 @@ class SamplingEngine:
         edges: Iterable[Edge],
         n_samples: int = 1000,
         seed: SeedLike = None,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
     ) -> Dict[VertexId, float]:
         """Estimate ``P(v ↔ anchor)`` for every ``v`` of an edge-induced component."""
         targets: List[VertexId] = [v for v in vertices if v != anchor]
@@ -324,9 +580,22 @@ class SamplingEngine:
             seed=seed,
             edges=list(edges),
             extra_vertices=targets,
+            executor=executor,
+            shard_size=shard_size,
         )
         frequencies = batch.hit_frequencies(targets)
         return {vertex: float(f) for vertex, f in zip(targets, frequencies)}
+
+
+def _is_auto(n_samples: SampleSpec) -> bool:
+    """True for the adaptive sentinel; rejects any other string loudly."""
+    if isinstance(n_samples, str):
+        if n_samples != AUTO_SAMPLES:
+            raise ValueError(
+                f"n_samples must be a positive integer or {AUTO_SAMPLES!r}, got {n_samples!r}"
+            )
+        return True
+    return False
 
 
 def _restricted_edges(

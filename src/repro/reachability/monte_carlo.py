@@ -21,8 +21,10 @@ from typing import Dict, Iterable, Optional
 
 from repro.exceptions import SampleSizeError, VertexNotFoundError
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.adaptive import AUTO_SAMPLES, AdaptiveSettings
+from repro.parallel.executor import ExecutorLike
 from repro.reachability.backends import BackendLike
-from repro.reachability.engine import SamplingEngine
+from repro.reachability.engine import SampleSpec, SamplingEngine
 from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
 from repro.rng import SeedLike, ensure_rng
 from repro.types import Edge, VertexId
@@ -45,26 +47,45 @@ class MonteCarloFlowEstimator:
         Whether the query vertex's own weight counts towards the flow.
     backend:
         Sampling backend name or instance (default: the registry default).
+    executor:
+        Sharded-sampling executor or worker count (see
+        :mod:`repro.parallel`); ``None`` keeps the unsharded stream.
+    shard_size:
+        Worlds per shard when an executor is active.
+    adaptive:
+        Stopping rule for ``n_samples="auto"``.
     """
 
     def __init__(
         self,
         graph: UncertainGraph,
         query: VertexId,
-        n_samples: int = 1000,
+        n_samples: SampleSpec = 1000,
         seed: SeedLike = None,
         include_query: bool = False,
         backend: BackendLike = None,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
+        adaptive: Optional[AdaptiveSettings] = None,
     ) -> None:
         if not graph.has_vertex(query):
             raise VertexNotFoundError(query)
-        if n_samples <= 0:
-            raise SampleSizeError(n_samples)
+        if isinstance(n_samples, str):
+            if n_samples != AUTO_SAMPLES:
+                raise ValueError(
+                    f"n_samples must be a positive integer or {AUTO_SAMPLES!r}, "
+                    f"got {n_samples!r}"
+                )
+        else:
+            if n_samples <= 0:
+                raise SampleSizeError(n_samples)
+            n_samples = int(n_samples)
         self.graph = graph
         self.query = query
-        self.n_samples = int(n_samples)
+        self.n_samples = n_samples
         self.include_query = include_query
-        self._engine = SamplingEngine(backend)
+        self.adaptive = adaptive
+        self._engine = SamplingEngine(backend, executor=executor, shard_size=shard_size)
         self._rng = ensure_rng(seed)
 
     def estimate(self, edges: Optional[Iterable[Edge]] = None) -> FlowEstimate:
@@ -76,17 +97,21 @@ class MonteCarloFlowEstimator:
             seed=self._rng,
             edges=edges,
             include_query=self.include_query,
+            adaptive=self.adaptive,
         )
 
 
 def monte_carlo_expected_flow(
     graph: UncertainGraph,
     query: VertexId,
-    n_samples: int = 1000,
+    n_samples: SampleSpec = 1000,
     seed: SeedLike = None,
     edges: Optional[Iterable[Edge]] = None,
     include_query: bool = False,
     backend: BackendLike = None,
+    executor: ExecutorLike = None,
+    shard_size: Optional[int] = None,
+    adaptive: Optional[AdaptiveSettings] = None,
 ) -> FlowEstimate:
     """Monte-Carlo estimate of ``E[flow(Q, G)]`` (Lemma 1).
 
@@ -97,7 +122,8 @@ def monte_carlo_expected_flow(
     query:
         Query vertex ``Q``.
     n_samples:
-        Number of sampled possible worlds.
+        Number of sampled possible worlds, or ``"auto"`` for adaptive
+        CI-driven stopping (see :class:`repro.parallel.AdaptiveSettings`).
     seed:
         Random seed or generator.
     edges:
@@ -109,6 +135,15 @@ def monte_carlo_expected_flow(
     backend:
         Sampling backend name or instance (see
         :data:`repro.reachability.backends.BACKEND_NAMES`).
+    executor:
+        Sharded-sampling executor or worker count (see
+        :mod:`repro.parallel`); ``None`` keeps the historical unsharded
+        single-process stream.
+    shard_size:
+        Worlds per shard when an executor is active; part of the
+        determinism key ``(seed, n_samples, shard_size)``.
+    adaptive:
+        Stopping rule for ``n_samples="auto"``.
 
     Returns
     -------
@@ -116,13 +151,14 @@ def monte_carlo_expected_flow(
         Point estimate together with per-vertex reachability frequencies
         and the sample variance of the per-world flow.
     """
-    return SamplingEngine(backend).expected_flow(
+    return SamplingEngine(backend, executor=executor, shard_size=shard_size).expected_flow(
         graph,
         query,
         n_samples=n_samples,
         seed=seed,
         edges=edges,
         include_query=include_query,
+        adaptive=adaptive,
     )
 
 
@@ -130,14 +166,21 @@ def monte_carlo_reachability(
     graph: UncertainGraph,
     source: VertexId,
     target: VertexId,
-    n_samples: int = 1000,
+    n_samples: SampleSpec = 1000,
     seed: SeedLike = None,
     edges: Optional[Iterable[Edge]] = None,
     backend: BackendLike = None,
+    executor: ExecutorLike = None,
+    shard_size: Optional[int] = None,
+    adaptive: Optional[AdaptiveSettings] = None,
 ) -> ReachabilityEstimate:
-    """Monte-Carlo estimate of the two-terminal reachability ``P(source ↔ target)``."""
-    return SamplingEngine(backend).pair_reachability(
-        graph, source, target, n_samples=n_samples, seed=seed, edges=edges
+    """Monte-Carlo estimate of the two-terminal reachability ``P(source ↔ target)``.
+
+    ``n_samples="auto"`` draws shards until the Wilson/normal interval is
+    narrower than ``adaptive.target_width`` (see :mod:`repro.parallel`).
+    """
+    return SamplingEngine(backend, executor=executor, shard_size=shard_size).pair_reachability(
+        graph, source, target, n_samples=n_samples, seed=seed, edges=edges, adaptive=adaptive
     )
 
 
@@ -149,6 +192,8 @@ def monte_carlo_component_reachability(
     n_samples: int = 1000,
     seed: SeedLike = None,
     backend: BackendLike = None,
+    executor: ExecutorLike = None,
+    shard_size: Optional[int] = None,
 ) -> Dict[VertexId, float]:
     """Estimate ``P(v ↔ anchor)`` for every ``v`` within a small edge-induced component.
 
@@ -156,6 +201,6 @@ def monte_carlo_component_reachability(
     component's edges are flipped, and reachability is evaluated towards
     the component's articulation vertex.
     """
-    return SamplingEngine(backend).component_reachability(
+    return SamplingEngine(backend, executor=executor, shard_size=shard_size).component_reachability(
         graph, anchor, vertices, edges, n_samples=n_samples, seed=seed
     )

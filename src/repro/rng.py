@@ -5,16 +5,27 @@ be ``None`` (non-deterministic), an integer, or an existing
 :class:`numpy.random.Generator`.  :func:`ensure_rng` normalises all three
 cases, and :func:`spawn_rngs` derives independent child generators for
 parallel or repeated use without accidentally correlating streams.
+
+All child-stream derivation goes through :class:`numpy.random.SeedSequence`
+spawning (:func:`seed_sequence` normalises every seed form into a
+sequence first).  Spawning guarantees non-overlapping child streams by
+construction; the earlier scheme of drawing raw 63-bit integers as child
+seeds risked birthday collisions — two workers silently sampling the
+same worlds — once enough children were spawned.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Union
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
 #: Accepted forms of a random source.
 SeedLike = Union[None, int, np.random.Generator]
+
+#: Entropy words drawn when a live generator is condensed into a seed
+#: sequence (128 bits, matching SeedSequence's own pool word count).
+_GENERATOR_ENTROPY_WORDS = 4
 
 
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -31,26 +42,56 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
-    """Derive ``count`` statistically independent child generators.
+def seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Normalise any accepted seed form into a :class:`numpy.random.SeedSequence`.
 
-    Uses :class:`numpy.random.SeedSequence` spawning so that the children
-    do not overlap even when ``seed`` identifies a single stream.
+    ``None`` and ``int`` seeds map to ``SeedSequence(seed)`` directly.  A
+    live generator is condensed by drawing 128 bits of entropy from it —
+    this advances the generator, so successive calls yield independent
+    (but, for a seeded generator, fully reproducible) sequences; the
+    generator's future output stays uncorrelated with every child
+    spawned from the returned sequence.
+    """
+    if isinstance(seed, np.random.Generator):
+        entropy = seed.integers(0, 2**32, size=_GENERATOR_ENTROPY_WORDS, dtype=np.uint32)
+        return np.random.SeedSequence([int(word) for word in entropy])
+    return np.random.SeedSequence(seed)
+
+
+def split_seed_sequences(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
+    """Split ``seed`` into ``count`` independent child seed sequences.
+
+    The deterministic seed-splitting primitive of the parallel sampling
+    executor: child ``i`` is the ``i``-th spawn of ``seed_sequence(seed)``,
+    so the children depend only on the seed (and, for a generator, its
+    state) — never on worker count or execution order.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(seed, np.random.Generator):
-        seeds = seed.integers(0, 2**63 - 1, size=count)
-        return [np.random.default_rng(int(s)) for s in seeds]
-    sequence = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+    return seed_sequence(seed).spawn(count)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning for every seed form
+    (a live generator is condensed via :func:`seed_sequence`), so the
+    children do not overlap even when ``seed`` identifies a single
+    stream and cannot collide by a birthday accident.
+    """
+    return [np.random.default_rng(child) for child in split_seed_sequences(seed, count)]
 
 
 def iter_rngs(seed: SeedLike) -> Iterator[np.random.Generator]:
-    """Yield an endless stream of independent generators derived from ``seed``."""
-    root = ensure_rng(seed)
+    """Yield an endless stream of independent generators derived from ``seed``.
+
+    Children come from incremental :class:`numpy.random.SeedSequence`
+    spawning, so the stream of generators is reproducible per seed and
+    free of the birthday-collision risk of drawing raw integer seeds.
+    """
+    sequence = seed_sequence(seed)
     while True:
-        yield np.random.default_rng(int(root.integers(0, 2**63 - 1)))
+        yield np.random.default_rng(sequence.spawn(1)[0])
 
 
 def derive_seed(seed: SeedLike, salt: int) -> Optional[int]:

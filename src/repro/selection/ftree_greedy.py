@@ -26,6 +26,7 @@ from repro.ftree.ftree import FTree
 from repro.ftree.memo import MemoCache
 from repro.ftree.sampler import ComponentSampler
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.executor import ExecutorLike, make_executor
 from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike, derive_seed, ensure_rng
 from repro.selection.base import EdgeSelector, SelectionIteration, SelectionResult, Stopwatch
@@ -71,6 +72,14 @@ class FTreeGreedySelector(EdgeSelector):
         so within one round every probe of the same component draws the
         same worlds and candidate comparisons are noise-free.  ``False``
         restores the sequential-stream resampling reference behaviour.
+    executor:
+        Sharded-sampling executor or worker count (see
+        :mod:`repro.parallel`); the component samplers shard their
+        Monte-Carlo streams over it.  Selections stay bit-for-bit
+        identical for any worker count given
+        ``(seed, n_samples, shard_size)``.
+    shard_size:
+        Worlds per shard for the executor path.
     """
 
     def __init__(
@@ -86,6 +95,8 @@ class FTreeGreedySelector(EdgeSelector):
         include_query: bool = False,
         backend: BackendLike = None,
         crn: bool = True,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
     ) -> None:
         if delay_base <= 1.0:
             raise ValueError(f"delay_base must be greater than 1, got {delay_base!r}")
@@ -99,6 +110,8 @@ class FTreeGreedySelector(EdgeSelector):
         self.include_query = include_query
         self.backend = backend
         self.crn = bool(crn)
+        self._executor = make_executor(executor)
+        self._shard_size = shard_size
         self._seed = seed
         self.name = self._build_name()
 
@@ -125,6 +138,8 @@ class FTreeGreedySelector(EdgeSelector):
             memo=memo,
             backend=self.backend,
             crn=self.crn,
+            executor=self._executor,
+            shard_size=self._shard_size,
         )
         screening_sampler = ComponentSampler(
             n_samples=_SCREENING_SAMPLES,
@@ -133,6 +148,8 @@ class FTreeGreedySelector(EdgeSelector):
             memo=None,
             backend=self.backend,
             crn=self.crn,
+            executor=self._executor,
+            shard_size=self._shard_size,
         )
         ftree = FTree(graph, query, sampler=sampler)
         candidates = CandidateManager(graph, query)

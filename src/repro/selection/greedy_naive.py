@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.executor import ExecutorLike, make_executor
 from repro.reachability.backends import BackendLike
 from repro.reachability.context import EvaluationContext
 from repro.reachability.engine import SamplingEngine
@@ -51,6 +52,13 @@ class NaiveGreedySelector(EdgeSelector):
         Common-random-numbers candidate scoring (see the module
         docstring).  On by default; ``False`` restores the paper's
         per-candidate resampling reference behaviour.
+    executor:
+        Sharded-sampling executor or worker count (see
+        :mod:`repro.parallel`); every world batch the selector draws is
+        fanned out over it.  Selections stay bit-for-bit identical for
+        any worker count given ``(seed, n_samples, shard_size)``.
+    shard_size:
+        Worlds per shard for the executor path.
     """
 
     name = "Naive"
@@ -62,11 +70,15 @@ class NaiveGreedySelector(EdgeSelector):
         include_query: bool = False,
         backend: BackendLike = None,
         crn: bool = True,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
     ) -> None:
         self.n_samples = n_samples
         self.include_query = include_query
         self.crn = bool(crn)
-        self._engine = SamplingEngine(backend)
+        self._executor = make_executor(executor)
+        self._shard_size = shard_size
+        self._engine = SamplingEngine(backend, executor=self._executor, shard_size=shard_size)
         self._rng = ensure_rng(seed)
 
     def select(self, graph: UncertainGraph, query: VertexId, budget: int) -> SelectionResult:
@@ -87,6 +99,8 @@ class NaiveGreedySelector(EdgeSelector):
                 seed=self._rng,
                 backend=self._engine.backend,
                 include_query=self.include_query,
+                executor=self._executor,
+                shard_size=self._shard_size,
             )
 
         for index in range(budget):

@@ -25,6 +25,7 @@ from repro.ftree.ftree import FTree
 from repro.ftree.memo import MemoCache
 from repro.ftree.sampler import ComponentSampler
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.executor import ExecutorLike, make_executor
 from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike, ensure_rng
 from repro.selection.base import EdgeSelector, SelectionIteration, SelectionResult, Stopwatch
@@ -57,6 +58,13 @@ class LazyGreedySelector(EdgeSelector):
         component content, so re-evaluating the heap's top candidate
         compares against gains measured on the same worlds.  ``False``
         restores the sequential-stream resampling reference behaviour.
+    executor:
+        Sharded-sampling executor or worker count (see
+        :mod:`repro.parallel`); the component sampler shards its
+        Monte-Carlo streams over it, keeping selections bit-for-bit
+        identical for any worker count.
+    shard_size:
+        Worlds per shard for the executor path.
     """
 
     name = "FT+Lazy"
@@ -70,6 +78,8 @@ class LazyGreedySelector(EdgeSelector):
         include_query: bool = False,
         backend: BackendLike = None,
         crn: bool = True,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
     ) -> None:
         self.n_samples = n_samples
         self.exact_threshold = exact_threshold
@@ -77,6 +87,8 @@ class LazyGreedySelector(EdgeSelector):
         self.include_query = include_query
         self.backend = backend
         self.crn = bool(crn)
+        self._executor = make_executor(executor)
+        self._shard_size = shard_size
         self._seed = seed
 
     def select(self, graph: UncertainGraph, query: VertexId, budget: int) -> SelectionResult:
@@ -91,6 +103,8 @@ class LazyGreedySelector(EdgeSelector):
             memo=memo,
             backend=self.backend,
             crn=self.crn,
+            executor=self._executor,
+            shard_size=self._shard_size,
         )
         ftree = FTree(graph, query, sampler=sampler)
         candidates = CandidateManager(graph, query)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.parallel.executor import ExecutorLike
 from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike
 from repro.selection.base import EdgeSelector
@@ -66,6 +67,8 @@ def make_selector(
     include_query: bool = False,
     backend: BackendLike = None,
     crn: Optional[bool] = None,
+    executor: ExecutorLike = None,
+    shard_size: Optional[int] = None,
 ) -> EdgeSelector:
     """Instantiate one of the paper's algorithms by name.
 
@@ -95,6 +98,13 @@ def make_selector(
         round instead of a fresh draw per candidate.  ``None`` (the
         default) defers to :func:`get_default_crn`; ``False`` restores
         the paper's literal per-candidate resampling reference mode.
+    executor:
+        Sharded-sampling executor for the sampling-based selectors (see
+        :mod:`repro.parallel`): a worker count, an executor instance
+        (pass one instance to share a process pool across selectors), or
+        ``None`` for the process-wide default (normally unsharded).
+    shard_size:
+        Worlds per shard when an executor is active.
     """
     if crn is None:
         crn = get_default_crn()
@@ -113,6 +123,8 @@ def make_selector(
             include_query=include_query,
             backend=backend,
             crn=crn,
+            executor=executor,
+            shard_size=shard_size,
         )
     if name == "Naive":
         return NaiveGreedySelector(
@@ -121,6 +133,8 @@ def make_selector(
             include_query=include_query,
             backend=backend,
             crn=crn,
+            executor=executor,
+            shard_size=shard_size,
         )
     if name == "Dijkstra":
         return DijkstraSelector(include_query=include_query)
@@ -132,6 +146,8 @@ def make_selector(
             include_query=include_query,
             backend=backend,
             crn=crn,
+            executor=executor,
+            shard_size=shard_size,
         )
     raise ValueError(f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}")
 

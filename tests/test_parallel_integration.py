@@ -1,0 +1,281 @@
+"""Worker-count invariance and adaptive stopping across the whole stack.
+
+The hard guarantee of :mod:`repro.parallel`: for a fixed
+``(seed, n_samples, shard_size)`` every estimate and every greedy
+selection is bit-for-bit identical no matter how many workers run the
+shards — the serial reference executor and process pools of 2 and 4
+workers must agree exactly, on both sampling backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SampleSizeError
+from repro.graph.generators import erdos_renyi_graph
+from repro.parallel import (
+    AdaptiveSettings,
+    ProcessExecutor,
+    SerialExecutor,
+    set_default_executor,
+)
+from repro.reachability.backends import BACKEND_NAMES
+from repro.reachability.context import EvaluationContext
+from repro.reachability.engine import SamplingEngine
+from repro.reachability.monte_carlo import (
+    monte_carlo_expected_flow,
+    monte_carlo_reachability,
+)
+from repro.selection.ftree_greedy import FTreeGreedySelector
+from repro.selection.greedy_naive import NaiveGreedySelector
+
+SHARD_SIZE = 16
+N_SAMPLES = 96  # 6 shards
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(60, average_degree=6.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def pools():
+    """One shared pool per worker count, so tests don't respawn processes."""
+    with ProcessExecutor(2) as pool2, ProcessExecutor(4) as pool4:
+        yield {1: SerialExecutor(), 2: pool2, 4: pool4}
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_world_batches_identical(self, graph, pools, backend):
+        engine = SamplingEngine(backend)
+        batches = {
+            workers: engine.sample_worlds(
+                graph, 0, N_SAMPLES, seed=123, executor=executor, shard_size=SHARD_SIZE
+            )
+            for workers, executor in pools.items()
+        }
+        reference = batches[1]
+        assert reference.n_samples == N_SAMPLES
+        for workers, batch in batches.items():
+            assert np.array_equal(batch.reached, reference.reached), workers
+
+    def test_flip_batches_identical(self, graph, pools):
+        engine = SamplingEngine()
+        flips = [
+            engine.sample_flips(
+                graph, 0, N_SAMPLES, seed=9, executor=executor, shard_size=SHARD_SIZE
+            ).flips
+            for executor in pools.values()
+        ]
+        for other in flips[1:]:
+            assert np.array_equal(flips[0], other)
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_flow_estimates_identical(self, graph, pools, backend):
+        estimates = [
+            monte_carlo_expected_flow(
+                graph,
+                0,
+                n_samples=N_SAMPLES,
+                seed=7,
+                backend=backend,
+                executor=executor,
+                shard_size=SHARD_SIZE,
+            )
+            for executor in pools.values()
+        ]
+        assert len({e.expected_flow for e in estimates}) == 1
+        assert len({e.variance for e in estimates}) == 1
+        for other in estimates[1:]:
+            assert other.reachability == estimates[0].reachability
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_naive_greedy_selections_identical(self, graph, pools, backend):
+        selections = []
+        for executor in pools.values():
+            selector = NaiveGreedySelector(
+                n_samples=64, seed=3, backend=backend, executor=executor, shard_size=SHARD_SIZE
+            )
+            selections.append(selector.select(graph, 0, budget=3))
+        reference = selections[0]
+        for result in selections[1:]:
+            assert result.selected_edges == reference.selected_edges
+            assert result.expected_flow == reference.expected_flow
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_ftree_greedy_selections_identical(self, graph, pools, backend):
+        selections = []
+        for executor in pools.values():
+            selector = FTreeGreedySelector(
+                n_samples=64,
+                exact_threshold=0,  # force sampling so the executor is exercised
+                memoize=True,
+                seed=3,
+                backend=backend,
+                executor=executor,
+                shard_size=SHARD_SIZE,
+            )
+            selections.append(selector.select(graph, 0, budget=3))
+        reference = selections[0]
+        for result in selections[1:]:
+            assert result.selected_edges == reference.selected_edges
+            assert result.expected_flow == reference.expected_flow
+
+    def test_evaluation_context_scores_identical(self, graph, pools):
+        edges = graph.edge_list()
+        base, candidates = edges[:3], edges[3:9]
+        all_scores = []
+        for executor in pools.values():
+            context = EvaluationContext(
+                graph, 0, n_samples=N_SAMPLES, seed=21, executor=executor, shard_size=SHARD_SIZE
+            )
+            all_scores.append(context.score_candidates(base, candidates).scores)
+        for other in all_scores[1:]:
+            assert np.array_equal(all_scores[0], other)
+
+
+class TestShardBoundaries:
+    def test_indivisible_sample_count(self, graph, pools):
+        engine = SamplingEngine()
+        batches = [
+            engine.sample_worlds(graph, 0, 50, seed=2, executor=executor, shard_size=16)
+            for executor in pools.values()
+        ]
+        assert batches[0].n_samples == 50
+        for other in batches[1:]:
+            assert np.array_equal(batches[0].reached, other.reached)
+
+    def test_single_shard_request(self, graph, pools):
+        engine = SamplingEngine()
+        batches = [
+            engine.sample_worlds(graph, 0, 5, seed=2, executor=executor, shard_size=100)
+            for executor in pools.values()
+        ]
+        for other in batches[1:]:
+            assert np.array_equal(batches[0].reached, other.reached)
+
+    def test_zero_samples_still_rejected(self, graph):
+        engine = SamplingEngine(executor=SerialExecutor(), shard_size=8)
+        with pytest.raises(SampleSizeError):
+            engine.sample_worlds(graph, 0, 0, seed=2)
+        with pytest.raises(SampleSizeError):
+            engine.sample_flips(graph, 0, 0, seed=2)
+
+    def test_shard_size_is_part_of_the_determinism_key(self, graph):
+        engine = SamplingEngine(executor=SerialExecutor())
+        a = engine.sample_worlds(graph, 0, 64, seed=2, shard_size=16)
+        b = engine.sample_worlds(graph, 0, 64, seed=2, shard_size=32)
+        assert not np.array_equal(a.reached, b.reached)
+
+    def test_unsharded_path_untouched_by_subsystem(self, graph):
+        # executor=None must keep the historical single-stream draw
+        engine = SamplingEngine("naive")
+        import numpy.random as npr
+
+        direct = engine.backend.sample_reachability(
+            engine.sample_worlds(graph, 0, 20, seed=4).problem, 20, npr.default_rng(4)
+        )
+        assert np.array_equal(engine.sample_worlds(graph, 0, 20, seed=4).reached, direct)
+
+
+class TestDefaultExecutorRouting:
+    def test_global_default_shards_unspecified_calls(self, graph):
+        previous = set_default_executor(SerialExecutor())
+        try:
+            via_default = monte_carlo_expected_flow(graph, 0, n_samples=64, seed=6)
+        finally:
+            set_default_executor(previous)
+        explicit = monte_carlo_expected_flow(
+            graph, 0, n_samples=64, seed=6, executor=SerialExecutor()
+        )
+        unsharded = monte_carlo_expected_flow(graph, 0, n_samples=64, seed=6)
+        assert via_default.expected_flow == explicit.expected_flow
+        assert via_default.expected_flow != unsharded.expected_flow
+
+
+class TestAdaptiveStopping:
+    def test_adaptive_pair_reachability_is_worker_invariant(self, graph, pools):
+        settings = AdaptiveSettings(
+            target_width=0.15, alpha=0.05, max_samples=2000, min_samples=50
+        )
+        estimates = [
+            monte_carlo_reachability(
+                graph,
+                0,
+                1,
+                n_samples="auto",
+                seed=13,
+                adaptive=settings,
+                executor=executor,
+                shard_size=SHARD_SIZE,
+            )
+            for executor in pools.values()
+        ]
+        assert len({e.n_samples for e in estimates}) == 1
+        assert len({e.probability for e in estimates}) == 1
+
+    def test_adaptive_stops_before_the_cap_on_easy_instances(self, graph):
+        settings = AdaptiveSettings(
+            target_width=0.5, alpha=0.05, max_samples=4000, min_samples=32
+        )
+        estimate = monte_carlo_reachability(
+            graph, 0, 1, n_samples="auto", seed=13, adaptive=settings, shard_size=32
+        )
+        assert estimate.n_samples < settings.max_samples
+        assert estimate.n_samples >= settings.min_samples
+
+    def test_adaptive_hits_the_cap_when_the_target_is_unreachable(self, graph):
+        settings = AdaptiveSettings(
+            target_width=1e-6, alpha=0.05, max_samples=256, min_samples=32
+        )
+        estimate = monte_carlo_reachability(
+            graph, 0, 1, n_samples="auto", seed=13, adaptive=settings, shard_size=32
+        )
+        assert estimate.n_samples == settings.max_samples
+
+    def test_adaptive_flow_estimate(self, graph):
+        settings = AdaptiveSettings(
+            target_width=20.0, alpha=0.05, max_samples=2000, min_samples=64
+        )
+        estimate = monte_carlo_expected_flow(
+            graph, 0, n_samples="auto", seed=13, adaptive=settings, shard_size=32
+        )
+        assert estimate.n_samples >= settings.min_samples
+        assert estimate.n_samples <= settings.max_samples
+        assert estimate.expected_flow > 0.0
+
+    def test_adaptive_is_deterministic_per_seed(self, graph):
+        settings = AdaptiveSettings(target_width=0.2, alpha=0.05, max_samples=1000)
+        first = monte_carlo_reachability(
+            graph, 0, 1, n_samples="auto", seed=17, adaptive=settings
+        )
+        second = monte_carlo_reachability(
+            graph, 0, 1, n_samples="auto", seed=17, adaptive=settings
+        )
+        assert first.probability == second.probability
+        assert first.n_samples == second.n_samples
+
+    def test_adaptive_source_equals_target_honours_settings(self, graph):
+        settings = AdaptiveSettings(min_samples=500, max_samples=5000)
+        estimate = monte_carlo_reachability(
+            graph, 0, 0, n_samples="auto", adaptive=settings
+        )
+        assert estimate.probability == 1.0
+        assert estimate.n_samples == settings.min_samples
+
+    def test_bad_sample_spec_rejected(self, graph):
+        with pytest.raises(ValueError):
+            monte_carlo_expected_flow(graph, 0, n_samples="adaptive")
+        with pytest.raises(ValueError):
+            monte_carlo_reachability(graph, 0, 1, n_samples="all")
+
+    def test_estimator_rejects_bad_sample_spec_at_construction(self, graph):
+        from repro.reachability.monte_carlo import MonteCarloFlowEstimator
+
+        with pytest.raises(ValueError):
+            MonteCarloFlowEstimator(graph, 0, n_samples="autoo")
+        estimator = MonteCarloFlowEstimator(
+            graph, 0, n_samples="auto", seed=3,
+            adaptive=AdaptiveSettings(target_width=50.0, max_samples=500, min_samples=64),
+        )
+        assert estimator.estimate().n_samples >= 64

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.rng import derive_seed, ensure_rng, iter_rngs, spawn_rngs
+from repro.rng import (
+    derive_seed,
+    ensure_rng,
+    iter_rngs,
+    seed_sequence,
+    spawn_rngs,
+    split_seed_sequences,
+)
 
 
 class TestEnsureRng:
@@ -43,6 +50,83 @@ class TestSpawnRngs:
     def test_spawning_from_generator(self):
         children = spawn_rngs(np.random.default_rng(3), 2)
         assert len(children) == 2
+
+    def test_generator_path_is_reproducible_per_state(self):
+        first = [rng.random(3).tolist() for rng in spawn_rngs(np.random.default_rng(3), 2)]
+        second = [rng.random(3).tolist() for rng in spawn_rngs(np.random.default_rng(3), 2)]
+        assert first == second
+
+    def test_generator_path_advances_parent(self):
+        # condensing the generator into a SeedSequence draws entropy, so
+        # two successive splits from one generator must differ
+        gen = np.random.default_rng(3)
+        first = [rng.random(3).tolist() for rng in spawn_rngs(gen, 2)]
+        second = [rng.random(3).tolist() for rng in spawn_rngs(gen, 2)]
+        assert first != second
+
+
+class TestChildStreamStability:
+    """Pin the exact child streams so refactors cannot silently change them.
+
+    The values encode NumPy's stable SeedSequence spawning semantics; a
+    mismatch means the seed-splitting scheme changed and every sharded /
+    parallel sampling result changed with it.
+    """
+
+    def test_int_seeded_spawn_streams_are_pinned(self):
+        streams = [rng.random(2).tolist() for rng in spawn_rngs(7, 3)]
+        expected = [
+            [0.7978591868433563, 0.05309388325640407],
+            [0.4805820057358118, 0.059541806671542186],
+            [0.6320442355695731, 0.48677827296439047],
+        ]
+        assert np.allclose(streams, expected, rtol=0.0, atol=0.0)
+
+    def test_generator_seeded_spawn_streams_are_pinned(self):
+        streams = [rng.random(2).tolist() for rng in spawn_rngs(np.random.default_rng(3), 2)]
+        expected = [
+            [0.15980137092647473, 0.4507940445026689],
+            [0.24403297425801407, 0.6209146161208873],
+        ]
+        assert np.allclose(streams, expected, rtol=0.0, atol=0.0)
+
+    def test_iter_rngs_streams_are_pinned(self):
+        iterator = iter_rngs(11)
+        streams = [next(iterator).random(2).tolist() for _ in range(2)]
+        expected = [
+            [0.8904653030263529, 0.839863731228058],
+            [0.8069510398541329, 0.4323215609424941],
+        ]
+        assert np.allclose(streams, expected, rtol=0.0, atol=0.0)
+
+    def test_generator_entropy_condensation_is_pinned(self):
+        sequence = seed_sequence(np.random.default_rng(5))
+        assert list(sequence.entropy) == [2881021352, 3457461230, 97294837, 3470079269]
+
+
+class TestSeedSequence:
+    def test_int_seed_round_trip(self):
+        assert seed_sequence(42).entropy == 42
+
+    def test_none_uses_os_entropy(self):
+        a, b = seed_sequence(None), seed_sequence(None)
+        assert a.entropy != b.entropy
+
+    def test_split_reproducible_and_independent(self):
+        first = split_seed_sequences(9, 4)
+        second = split_seed_sequences(9, 4)
+        assert [c.generate_state(2).tolist() for c in first] == [
+            c.generate_state(2).tolist() for c in second
+        ]
+        states = {tuple(c.generate_state(2).tolist()) for c in first}
+        assert len(states) == 4
+
+    def test_split_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            split_seed_sequences(0, -1)
+
+    def test_split_zero_is_empty(self):
+        assert split_seed_sequences(0, 0) == []
 
 
 class TestDeriveSeed:
