@@ -30,6 +30,11 @@ The package is organised as:
 * :mod:`repro.parallel` — sharded possible-world sampling with
   deterministic seed-splitting, process-pool executors and adaptive
   CI-driven stopping;
+* :mod:`repro.service` — the batched multi-query evaluation service:
+  mixed batches of flow/reachability queries planned onto shared world
+  batches, with a digest-keyed LRU world cache;
+* :mod:`repro.digest` — the stable content-hashing scheme shared by the
+  F-tree memo and the world cache;
 * :mod:`repro.experiments` — the harness that regenerates every figure
   of the evaluation section.
 """
@@ -57,6 +62,12 @@ from repro.parallel import (
     ProcessExecutor,
     SerialExecutor,
     make_executor,
+)
+from repro.service import (
+    BatchEvaluator,
+    QueryRequest,
+    QueryResult,
+    WorldCache,
 )
 from repro.ftree import FTree, ComponentSampler, MemoCache, build_ftree
 from repro.selection import (
@@ -92,6 +103,10 @@ __all__ = [
     "ProcessExecutor",
     "SerialExecutor",
     "make_executor",
+    "BatchEvaluator",
+    "QueryRequest",
+    "QueryResult",
+    "WorldCache",
     "FTree",
     "ComponentSampler",
     "MemoCache",

@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     repro-flow generate --dataset erdos --size 500 --out graph.json
     repro-flow select   --graph graph.json --query 0 --budget 20 --algorithm FT+M
     repro-flow evaluate --graph graph.json --query 0 --edges edges.txt
+    repro-flow batch    --graph graph.json --requests queries.jsonl --out results.jsonl
     repro-flow experiment --figure 7b
 
 (``python -m repro.cli`` works identically when the console script is
@@ -14,21 +15,24 @@ not installed.)
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.exceptions import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES, FigureResult
 from repro.experiments.harness import evaluate_flow, pick_query_vertex
 from repro.experiments.reporting import format_table, rows_to_csv
 from repro.graph.io import read_json, write_json
 from repro.graph.validation import graph_stats
-from repro.parallel.executor import set_default_executor
+from repro.parallel.executor import make_executor, set_default_executor
 from repro.parallel.plan import set_default_shard_size
 from repro.reachability.backends import BACKEND_NAMES, DEFAULT_BACKEND, set_default_backend
 from repro.selection.registry import ALGORITHM_NAMES, make_selector, set_default_crn
+from repro.service import BatchEvaluator, request_from_dict, result_to_dict
 from repro.types import Edge
 
 
@@ -98,6 +102,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_flags(evaluate)
 
+    batch = subparsers.add_parser(
+        "batch",
+        help="answer a JSONL batch of flow/reachability queries from shared sampled worlds",
+    )
+    batch.add_argument("--graph", type=Path, required=True, help="graph JSON produced by 'generate'")
+    batch.add_argument(
+        "--requests", type=Path, required=True,
+        help="JSONL file with one query request per line (see repro.service.requests)",
+    )
+    batch.add_argument(
+        "--out", type=Path, default=None,
+        help="write JSONL results to this file (default: stdout)",
+    )
+    batch.add_argument("--samples", type=int, default=1000,
+                       help="default sample count for requests that do not set one")
+    batch.add_argument("--seed", type=int, default=0,
+                       help="default seed for requests that do not set one")
+    batch.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=DEFAULT_BACKEND,
+        help="default possible-world sampling backend",
+    )
+    batch.add_argument(
+        "--cache-size", type=int, default=64,
+        help="world-cache entry bound (0 disables caching)",
+    )
+    batch.add_argument(
+        "--warm", action="store_true",
+        help="pre-sample every needed world batch into the cache before answering "
+             "(the answering pass is then served entirely from cache)",
+    )
+    _add_parallel_flags(batch)
+
     experiment = subparsers.add_parser("experiment", help="reproduce one of the paper's figures")
     experiment.add_argument(
         "--figure", choices=sorted(ALL_FIGURES) + ["all"], required=True,
@@ -150,16 +186,24 @@ def _command_select(args: argparse.Namespace) -> int:
     _validate_parallel_flags(args)
     graph = read_json(args.graph)
     query = _parse_vertex(args.query, graph)
-    selector = make_selector(
-        args.algorithm,
-        n_samples=args.samples,
-        seed=args.seed,
-        backend=args.backend,
-        crn=not args.resample_per_candidate,
-        executor=args.workers,
-        shard_size=args.shard_size,
-    )
-    result = selector.select(graph, query, args.budget)
+    # build the executor once here (instead of passing the raw worker
+    # count down) so one pool serves the whole selection and its worker
+    # processes are released even when the selector raises
+    executor = make_executor(args.workers)
+    try:
+        selector = make_selector(
+            args.algorithm,
+            n_samples=args.samples,
+            seed=args.seed,
+            backend=args.backend,
+            crn=not args.resample_per_candidate,
+            executor=executor,
+            shard_size=args.shard_size,
+        )
+        result = selector.select(graph, query, args.budget)
+    finally:
+        if executor is not None:
+            executor.close()
     print(f"algorithm      : {result.algorithm}")
     print(f"query vertex   : {query}")
     print(f"backend        : {args.backend}")
@@ -205,19 +249,91 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     graph = read_json(args.graph)
     query = _parse_vertex(args.query, graph)
     edges = _read_edge_file(args.edges, graph)
-    flow = evaluate_flow(
-        graph,
-        edges,
-        query,
-        n_samples=args.samples,
-        seed=args.seed,
-        backend=args.backend,
-        executor=args.workers,
-        shard_size=args.shard_size,
-    )
+    executor = make_executor(args.workers)
+    try:
+        flow = evaluate_flow(
+            graph,
+            edges,
+            query,
+            n_samples=args.samples,
+            seed=args.seed,
+            backend=args.backend,
+            executor=executor,
+            shard_size=args.shard_size,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     print(f"query vertex  : {query}")
     print(f"edges         : {len(edges)}")
     print(f"expected flow : {flow:.4f}")
+    return 0
+
+
+def _read_request_file(path: Path, graph, default_n_samples: int, default_seed: int):
+    requests = []
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            payload = json.loads(line)
+            requests.append(
+                request_from_dict(
+                    payload,
+                    graph=graph,
+                    default_n_samples=default_n_samples,
+                    default_seed=default_seed,
+                )
+            )
+        except (ValueError, TypeError) as error:
+            raise SystemExit(f"{path}:{line_number}: bad request: {error}") from error
+    if not requests:
+        raise SystemExit(f"{path}: no requests found")
+    return requests
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    _validate_parallel_flags(args)
+    if args.samples <= 0:
+        raise SystemExit(f"--samples must be positive, got {args.samples}")
+    if args.cache_size < 0:
+        raise SystemExit(f"--cache-size must be >= 0, got {args.cache_size}")
+    graph = read_json(args.graph)
+    requests = _read_request_file(args.requests, graph, args.samples, args.seed)
+    with BatchEvaluator(
+        backend=args.backend,
+        executor=args.workers,
+        shard_size=args.shard_size,
+        cache=args.cache_size,
+    ) as evaluator:
+        try:
+            if args.warm:
+                evaluator.warm(graph, requests)
+            results = evaluator.evaluate(graph, requests)
+        except ReproError as error:
+            raise SystemExit(f"batch evaluation failed: {error}") from error
+        plan = evaluator.last_plan  # the plan evaluate() just built
+        stats = evaluator.cache_stats()
+    lines = [json.dumps(result_to_dict(result)) for result in results]
+    if args.out is not None:
+        args.out.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    else:
+        for line in lines:
+            print(line)
+    summary = sys.stdout if args.out is not None else sys.stderr
+    print(f"requests       : {len(requests)}", file=summary)
+    print(f"world batches  : {len(plan.groups)} (amortization {plan.amortization:.1f}x)", file=summary)
+    print(f"sampled/reused : {evaluator.batches_sampled}/{evaluator.batches_reused}", file=summary)
+    if stats:
+        print(
+            f"cache          : {int(stats['entries'])} entries, "
+            f"{int(stats['hits'])} hits / {int(stats['misses'])} misses "
+            f"(hit rate {stats['hit_rate']:.0%})",
+            file=summary,
+        )
+    if args.out is not None:
+        print(f"results written to {args.out}", file=summary)
     return 0
 
 
@@ -314,6 +430,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "select": _command_select,
         "evaluate": _command_evaluate,
+        "batch": _command_batch,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

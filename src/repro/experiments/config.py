@@ -112,6 +112,12 @@ class ExperimentConfig:
     shard_size:
         Worlds per shard when ``workers`` is set (``None`` uses
         :data:`repro.parallel.DEFAULT_SHARD_SIZE`).
+    world_cache_size:
+        Entry bound of the shared :class:`repro.service.WorldCache` used
+        by service-backed query evaluation (``run_query_batch`` and, for
+        multi-figure runs, one cache installed for the whole run so
+        repeated figures reuse each other's sampled worlds).  ``None``
+        keeps the process-wide default cache; ``0`` disables caching.
     """
 
     n_vertices: int = 300
@@ -128,6 +134,7 @@ class ExperimentConfig:
     crn: Optional[bool] = None
     workers: Optional[int] = None
     shard_size: Optional[int] = None
+    world_cache_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_vertices <= 0:
@@ -146,6 +153,11 @@ class ExperimentConfig:
             raise ExperimentError(f"workers must be positive, got {self.workers!r}")
         if self.shard_size is not None and self.shard_size <= 0:
             raise ExperimentError(f"shard_size must be positive, got {self.shard_size!r}")
+        if self.world_cache_size is not None and self.world_cache_size < 0:
+            raise ExperimentError(
+                f"world_cache_size must be >= 0 (0 disables caching), "
+                f"got {self.world_cache_size!r}"
+            )
 
     def scaled(self, factor: float) -> "ExperimentConfig":
         """Return a copy with graph size and budget scaled by ``factor``."""

@@ -9,6 +9,7 @@ sampling noise).
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -22,6 +23,8 @@ from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike, derive_seed
 from repro.selection.base import SelectionResult
 from repro.selection.registry import make_selector
+from repro.service.evaluator import BatchEvaluator
+from repro.service.requests import QueryRequest, QueryResult
 from repro.types import Edge, VertexId
 
 
@@ -106,13 +109,12 @@ def run_algorithms(
     """Run every named algorithm on ``graph`` and evaluate the results uniformly."""
     config = config or ExperimentConfig()
     # one executor instance for the whole run, so every selector (and the
-    # shared evaluation yardstick) reuses a single process pool
+    # shared evaluation yardstick) reuses a single process pool; the
+    # context manager guarantees the pool's worker processes are released
+    # even when a selector raises mid-run
     executor = make_executor(config.workers)
-    try:
+    with executor if executor is not None else contextlib.nullcontext():
         return _run_algorithms(graph, query, budget, algorithms, config, seed, executor)
-    finally:
-        if executor is not None:
-            executor.close()
 
 
 def _run_algorithms(
@@ -166,6 +168,39 @@ def _run_algorithms(
             )
         )
     return runs
+
+
+def run_query_batch(
+    graph: UncertainGraph,
+    requests: Sequence[QueryRequest],
+    config: Optional[ExperimentConfig] = None,
+    evaluator: Optional[BatchEvaluator] = None,
+) -> List[QueryResult]:
+    """Answer a batch of service queries under an experiment configuration.
+
+    The harness-side entry point of :mod:`repro.service`: builds a
+    :class:`~repro.service.evaluator.BatchEvaluator` from the
+    configuration (backend, workers, shard size, ``world_cache_size``)
+    and answers the batch through it.  With ``world_cache_size=None``
+    the evaluator shares the process-wide world cache, so repeated
+    harness calls in one run — e.g. re-evaluating the same figure
+    configuration — reuse each other's sampled worlds.
+
+    Pass an explicit ``evaluator`` to share one instance (and its
+    cache/pool) across many calls; it is then left open for its owner.
+    An evaluator built here from ``config.workers`` owns its process
+    pool, and the pool is released even when evaluation raises.
+    """
+    if evaluator is not None:
+        return evaluator.evaluate(graph, requests)
+    config = config or ExperimentConfig()
+    with BatchEvaluator(
+        backend=config.backend,
+        executor=config.workers,
+        shard_size=config.shard_size,
+        cache=config.world_cache_size,
+    ) as owned:
+        return owned.evaluate(graph, requests)
 
 
 def run_sweep(

@@ -8,40 +8,30 @@ edge, which subsumes the paper's per-candidate memoization and stays
 valid when the same component re-appears while probing a different
 candidate edge.
 
-:func:`content_digest` hashes the same content notion into a stable
-integer.  The CRN mode of :class:`~repro.ftree.sampler.ComponentSampler`
-keys its counter-based random streams on that digest, so that within a
-selection round every probe of the same component content draws the same
-possible worlds — memoization and common random numbers agree on what
-"the same component" means.
+:func:`repro.digest.content_digest` (re-exported here for backwards
+compatibility) hashes the same content notion into a stable integer.
+The CRN mode of :class:`~repro.ftree.sampler.ComponentSampler` keys its
+counter-based random streams on that digest, so that within a selection
+round every probe of the same component content draws the same possible
+worlds — memoization and common random numbers agree on what "the same
+component" means.  The hashing scheme itself lives in
+:mod:`repro.digest`, shared with the world-batch cache of the batched
+query service (:mod:`repro.service`).
 """
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
+from repro.digest import content_digest
 from repro.types import Edge, VertexId
 
 #: Cache key: (frozenset of component edges, articulation vertex).
 MemoKey = Tuple[FrozenSet[Edge], VertexId]
 
-
-def content_digest(edges: Iterable[Edge], articulation: VertexId, *salts: int) -> int:
-    """Return a stable 128-bit integer digest of a component content.
-
-    Deterministic across processes (``repr``-based, no ``PYTHONHASHSEED``
-    dependence); the optional integer ``salts`` fold extra context — a
-    round index, a base seed, a sample size — into the digest so derived
-    random streams differ where they must.
-    """
-    canonical = sorted((repr(edge.u), repr(edge.v)) for edge in edges)
-    payload = repr((canonical, repr(articulation), tuple(int(s) for s in salts)))
-    return int.from_bytes(
-        hashlib.blake2b(payload.encode("utf-8"), digest_size=16).digest(), "little"
-    )
+__all__ = ["MemoCache", "MemoEntry", "MemoKey", "content_digest"]
 
 
 @dataclass(frozen=True)

@@ -123,6 +123,10 @@ class ProcessExecutor(SamplingExecutor):
             raise ValueError(f"workers must be positive, got {workers!r}")
         self.workers = resolved
         self._pool = None
+        #: True after :meth:`close` until the pool is next used; lets
+        #: lifecycle owners (harness, CLI, tests) assert that no worker
+        #: processes outlive their run even on error paths
+        self.closed = False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ProcessExecutor workers={self.workers}>"
@@ -140,6 +144,7 @@ class ProcessExecutor(SamplingExecutor):
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=context
             )
+            self.closed = False
         return self._pool
 
     def map_shards(self, tasks: Sequence[ShardTask]) -> List[np.ndarray]:
@@ -153,6 +158,7 @@ class ProcessExecutor(SamplingExecutor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self.closed = True
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown timing
         try:

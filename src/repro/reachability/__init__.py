@@ -49,7 +49,14 @@ from repro.reachability.backends import (
     register_backend,
 )
 from repro.reachability.context import CandidateScores, EvaluationContext
-from repro.reachability.engine import FlipBatch, SamplingEngine, WorldBatch
+from repro.reachability.engine import (
+    FlipBatch,
+    SamplingEngine,
+    WorldBatch,
+    aggregate_component_reachability,
+    aggregate_expected_flow,
+    aggregate_pair_reachability,
+)
 from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
 from repro.reachability.monte_carlo import (
     MonteCarloFlowEstimator,
@@ -89,6 +96,9 @@ __all__ = [
     "SamplingEngine",
     "WorldBatch",
     "FlipBatch",
+    "aggregate_component_reachability",
+    "aggregate_expected_flow",
+    "aggregate_pair_reachability",
     "CandidateScores",
     "EvaluationContext",
     "make_backend",

@@ -48,7 +48,7 @@ from repro.exceptions import SampleSizeError, VertexNotFoundError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.parallel.executor import ExecutorLike
 from repro.reachability.backends import BackendLike
-from repro.reachability.engine import SamplingEngine
+from repro.reachability.engine import SamplingEngine, flow_weight_vector
 from repro.rng import SeedLike, ensure_rng
 from repro.types import Edge, VertexId
 
@@ -196,13 +196,7 @@ class EvaluationContext:
         base_indices = np.arange(n_base)
         base_reached = self._engine.propagate(problem, flips, base_indices)
 
-        weights = self.graph.weights()
-        weight_vector = np.array(
-            [weights.get(vertex, 0.0) for vertex in problem.vertex_ids],
-            dtype=np.float64,
-        )
-        if not self.include_query:
-            weight_vector[problem.source] = 0.0
+        weight_vector = flow_weight_vector(self.graph, problem, self.include_query)
         base_flow_worlds = base_reached.astype(np.float64) @ weight_vector
         base_flow = float(base_flow_worlds.mean())
 

@@ -97,15 +97,16 @@ class WorldBatch:
             return 0.0
         return float(self.reached[:, index].sum()) / self.n_samples
 
-    def hit_frequencies(self, vertices: Iterable[VertexId]) -> np.ndarray:
-        """Return the hit frequency of every listed vertex as one array.
+    def hit_counts(self, vertices: Iterable[VertexId]) -> np.ndarray:
+        """Return the number of worlds in which each listed vertex was reached.
 
-        One vectorized column gather instead of a Python loop of
-        :meth:`hit_frequency` calls; vertices outside the indexed
-        problem report 0.0.  The result aligns with the input order.
+        One vectorized column gather instead of a Python loop; vertices
+        outside the indexed problem were never reached (they are not
+        incident to any sampled edge) and report 0.  The ``int64``
+        result aligns with the input order.
         """
         vertices = list(vertices)
-        frequencies = np.zeros(len(vertices), dtype=np.float64)
+        counts = np.zeros(len(vertices), dtype=np.int64)
         positions: List[int] = []
         columns: List[int] = []
         for position, vertex in enumerate(vertices):
@@ -115,9 +116,18 @@ class WorldBatch:
                 continue
             positions.append(position)
         if positions:
-            counts = self.reached[:, columns].sum(axis=0)
-            frequencies[positions] = counts / self.n_samples
-        return frequencies
+            counts[positions] = self.reached[:, columns].sum(axis=0)
+        return counts
+
+    def hit_frequencies(self, vertices: Iterable[VertexId]) -> np.ndarray:
+        """Return the hit frequency of every listed vertex as one array.
+
+        The bulk counterpart of :meth:`hit_frequency`: one
+        :meth:`hit_counts` column gather divided by the sample count.
+        Vertices outside the indexed problem report 0.0; the result
+        aligns with the input order.
+        """
+        return self.hit_counts(vertices) / self.n_samples
 
 
 @dataclass(frozen=True, eq=False)
@@ -468,33 +478,7 @@ class SamplingEngine:
                 executor=executor,
                 shard_size=shard_size,
             )
-        problem, reached = batch.problem, batch.reached
-        n_samples = batch.n_samples
-
-        weights = graph.weights()
-        weight_vector = np.array(
-            [weights.get(vertex, 0.0) for vertex in problem.vertex_ids], dtype=np.float64
-        )
-        if not include_query:
-            # cheaper than masking the query's (always-True) column out of
-            # the reached matrix: its flow contribution becomes zero here
-            # and its reachability entry is skipped below
-            weight_vector[problem.source] = 0.0
-        flow_samples = reached.astype(np.float64) @ weight_vector
-        hit_counts = reached.sum(axis=0)
-        reachability = {
-            vertex: int(count) / n_samples
-            for index, (vertex, count) in enumerate(zip(problem.vertex_ids, hit_counts))
-            if count and (include_query or index != problem.source)
-        }
-        variance = float(flow_samples.var(ddof=1)) if n_samples > 1 else 0.0
-        return FlowEstimate(
-            expected_flow=float(flow_samples.mean()),
-            reachability=reachability,
-            n_samples=n_samples,
-            variance=variance,
-            include_query=include_query,
-        )
+        return aggregate_expected_flow(graph, batch, include_query=include_query)
 
     def pair_reachability(
         self,
@@ -553,12 +537,7 @@ class SamplingEngine:
                 executor=executor,
                 shard_size=shard_size,
             )
-        successes = int(batch.reached[:, batch.problem.index_of(target)].sum())
-        return ReachabilityEstimate(
-            probability=successes / batch.n_samples,
-            n_samples=batch.n_samples,
-            successes=successes,
-        )
+        return aggregate_pair_reachability(batch, target)
 
     def component_reachability(
         self,
@@ -583,8 +562,97 @@ class SamplingEngine:
             executor=executor,
             shard_size=shard_size,
         )
-        frequencies = batch.hit_frequencies(targets)
-        return {vertex: float(f) for vertex, f in zip(targets, frequencies)}
+        return aggregate_component_reachability(batch, targets)
+
+
+# ----------------------------------------------------------------------
+# batch aggregations — shared by the engine's one-shot estimators and the
+# batched query service, which answers many queries from one WorldBatch.
+# Keeping these as free functions over an already-sampled batch is what
+# makes "batched answer == single-query answer" true by construction
+# rather than by parallel implementations that must be kept in sync.
+# ----------------------------------------------------------------------
+def flow_weight_vector(
+    graph: UncertainGraph, problem: SamplingProblem, include_query: bool
+) -> np.ndarray:
+    """Per-indexed-vertex information weights, aligned with ``problem``.
+
+    Vertices outside the graph weigh nothing; with ``include_query``
+    False the source's weight is zeroed — cheaper than masking its
+    (always-True) column out of a reached matrix, its flow contribution
+    simply becomes zero.
+    """
+    weights = graph.weights()
+    weight_vector = np.array(
+        [weights.get(vertex, 0.0) for vertex in problem.vertex_ids], dtype=np.float64
+    )
+    if not include_query:
+        weight_vector[problem.source] = 0.0
+    return weight_vector
+
+
+def aggregate_expected_flow(
+    graph: UncertainGraph, batch: WorldBatch, include_query: bool = False
+) -> FlowEstimate:
+    """Aggregate a sampled world batch into a :class:`FlowEstimate`.
+
+    Exactly the aggregation :meth:`SamplingEngine.expected_flow` applies
+    after sampling, factored out so a cached or shared batch yields the
+    bit-for-bit identical estimate.  Extra always-unreached vertices in
+    the batch (e.g. pooled pair-query targets) contribute exact zeros to
+    the flow dot product and are skipped by the ``count`` filter, so
+    pooling requests over one batch does not perturb the numbers.
+    """
+    problem, reached = batch.problem, batch.reached
+    n_samples = batch.n_samples
+    weight_vector = flow_weight_vector(graph, problem, include_query)
+    flow_samples = reached.astype(np.float64) @ weight_vector
+    hit_counts = reached.sum(axis=0)
+    reachability = {
+        vertex: int(count) / n_samples
+        for index, (vertex, count) in enumerate(zip(problem.vertex_ids, hit_counts))
+        if count and (include_query or index != problem.source)
+    }
+    variance = float(flow_samples.var(ddof=1)) if n_samples > 1 else 0.0
+    return FlowEstimate(
+        expected_flow=float(flow_samples.mean()),
+        reachability=reachability,
+        n_samples=n_samples,
+        variance=variance,
+        include_query=include_query,
+    )
+
+
+def aggregate_pair_reachability(batch: WorldBatch, target: VertexId) -> ReachabilityEstimate:
+    """Aggregate a world batch into the two-terminal estimate for ``target``.
+
+    A target outside the indexed problem is not incident to any sampled
+    edge, hence reached in no world: zero successes — the same answer a
+    batch that carried the target as an always-False extra column would
+    produce, which is what lets pooled batches drop the extra columns.
+    """
+    try:
+        successes = int(batch.reached[:, batch.problem.index_of(target)].sum())
+    except KeyError:
+        successes = 0
+    return ReachabilityEstimate(
+        probability=successes / batch.n_samples,
+        n_samples=batch.n_samples,
+        successes=successes,
+    )
+
+
+def aggregate_component_reachability(
+    batch: WorldBatch, targets: Iterable[VertexId]
+) -> Dict[VertexId, float]:
+    """Aggregate a world batch into per-target reachability probabilities.
+
+    One bulk :meth:`WorldBatch.hit_frequencies` column gather; targets
+    outside the indexed problem report 0.0.
+    """
+    targets = list(targets)
+    frequencies = batch.hit_frequencies(targets)
+    return {vertex: float(f) for vertex, f in zip(targets, frequencies)}
 
 
 def _is_auto(n_samples: SampleSpec) -> bool:
@@ -607,4 +675,12 @@ def _restricted_edges(
     return [(edge, graph.probability(edge)) for edge in edges]
 
 
-__all__ = ["FlipBatch", "SamplingEngine", "WorldBatch"]
+__all__ = [
+    "FlipBatch",
+    "SamplingEngine",
+    "WorldBatch",
+    "aggregate_component_reachability",
+    "aggregate_expected_flow",
+    "aggregate_pair_reachability",
+    "flow_weight_vector",
+]

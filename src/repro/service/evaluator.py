@@ -1,0 +1,353 @@
+"""The batched multi-query evaluation service.
+
+:class:`BatchEvaluator` is the request-oriented front door of the
+estimation stack: hand it an uncertain graph and a mixed batch of
+:class:`~repro.service.requests.QueryRequest` objects, and it
+
+1. **plans** — groups the requests by shared sampling work
+   (:class:`~repro.service.planner.QueryPlanner`);
+2. **caches** — looks each group's world key up in a digest-keyed
+   :class:`~repro.service.cache.WorldCache`, so successive batches (and
+   successive calls) reuse sampled worlds across requests;
+3. **samples** — on a miss, draws one shared
+   :class:`~repro.reachability.engine.WorldBatch` per group through the
+   ordinary :class:`~repro.reachability.engine.SamplingEngine`;
+4. **answers** — aggregates every member request from the group's batch
+   with the same aggregation functions the single-query estimators use.
+
+The determinism contract carries over verbatim: a batched answer is
+bit-for-bit identical to the corresponding single-query estimator call
+for the same ``(seed, backend, shard plan)`` — the batch only changes
+*when* the worlds are drawn, never *which* worlds or how they are
+aggregated.
+
+Typical use::
+
+    from repro.service import BatchEvaluator, QueryRequest
+
+    evaluator = BatchEvaluator(cache=128)
+    requests = [
+        QueryRequest(kind="expected_flow", source=0, n_samples=1000, seed=7),
+        QueryRequest(kind="pair_reachability", source=0, target=9,
+                     n_samples=1000, seed=7),
+    ]
+    results = evaluator.evaluate(graph, requests)   # one sampled batch, two answers
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.executor import (
+    ExecutorLike,
+    SamplingExecutor,
+    get_default_executor,
+    make_executor,
+)
+from repro.parallel.plan import get_default_shard_size
+from repro.reachability.backends import BackendLike, make_backend
+from repro.reachability.engine import (
+    SamplingEngine,
+    WorldBatch,
+    aggregate_component_reachability,
+    aggregate_expected_flow,
+    aggregate_pair_reachability,
+)
+from repro.reachability.estimators import ReachabilityEstimate
+from repro.service.cache import (
+    CacheLike,
+    WorldCache,
+    get_default_world_cache,
+    resolve_cache,
+)
+from repro.service.planner import QueryGroup, QueryPlan, QueryPlanner
+from repro.service.requests import (
+    COMPONENT_REACHABILITY,
+    EXPECTED_FLOW,
+    PAIR_REACHABILITY,
+    QueryRequest,
+    QueryResult,
+)
+
+
+class BatchEvaluator:
+    """Serves batches of mixed reachability/flow queries from shared worlds.
+
+    Parameters
+    ----------
+    backend:
+        Default sampling backend for requests without an override
+        (``None`` defers to the library-wide default backend).
+    executor:
+        Sharded-sampling executor spec (see :mod:`repro.parallel`):
+        ``None`` defers to the process-wide default, an integer worker
+        count builds an executor the evaluator *owns* (closed by
+        :meth:`close`), an instance is shared and left open.
+    shard_size:
+        Worlds per shard when an executor is active; part of every
+        world key (the sharded and unsharded streams differ).
+    cache:
+        World-cache spec: ``None`` shares the process-wide default
+        cache, ``0`` disables caching, a positive integer builds a
+        private cache with that entry bound, an instance is shared.
+    """
+
+    def __init__(
+        self,
+        backend: BackendLike = None,
+        executor: ExecutorLike = None,
+        shard_size: Optional[int] = None,
+        cache: CacheLike = None,
+    ) -> None:
+        self._backend_spec = backend
+        self._owns_executor = isinstance(executor, int) and not isinstance(executor, bool)
+        self._executor: Optional[SamplingExecutor] = make_executor(executor)
+        self.shard_size = shard_size
+        # a None spec tracks the process-wide default cache *lazily* (like
+        # the backend spec), so set_default_world_cache affects existing
+        # evaluators and no replaced cache is pinned alive; explicit specs
+        # are resolved once
+        self._use_default_cache = cache is None
+        self._cache: Optional[WorldCache] = None if cache is None else resolve_cache(cache)
+        self.planner = QueryPlanner()
+        #: the QueryPlan of the most recent evaluate/warm call (diagnostics)
+        self.last_plan: Optional[QueryPlan] = None
+        #: world batches sampled (cache misses + uncached groups)
+        self.batches_sampled = 0
+        #: world batches served from the cache
+        self.batches_reused = 0
+
+    @property
+    def cache(self) -> Optional[WorldCache]:
+        """The active world cache (``None`` when caching is disabled)."""
+        if self._use_default_cache:
+            return get_default_world_cache()
+        return self._cache
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cache = "off" if self.cache is None else len(self.cache)
+        return f"<BatchEvaluator backend={self._backend_name()!r} cache={cache}>"
+
+    # ------------------------------------------------------------------
+    # resolution helpers
+    # ------------------------------------------------------------------
+    def _backend_name(self) -> str:
+        """Resolve the default backend spec to a registry name (late, so
+        process-wide default changes are honoured per call)."""
+        return make_backend(self._backend_spec).name
+
+    def _effective_executor(self) -> Optional[SamplingExecutor]:
+        if self._executor is not None:
+            return self._executor
+        return get_default_executor()
+
+    def _shard_signature(self, executor: Optional[SamplingExecutor]) -> Optional[int]:
+        """The shard-plan component of world keys: ``None`` = unsharded."""
+        if executor is None:
+            return None
+        return int(self.shard_size) if self.shard_size is not None else get_default_shard_size()
+
+    # ------------------------------------------------------------------
+    # planning and sampling
+    # ------------------------------------------------------------------
+    def plan(self, graph: UncertainGraph, requests: Sequence[QueryRequest]) -> QueryPlan:
+        """Return the sharing plan for a batch without executing it."""
+        executor = self._effective_executor()
+        return self.planner.plan(
+            graph,
+            requests,
+            default_backend=self._backend_name(),
+            shard_size=self._shard_signature(executor),
+        )
+
+    def _group_batch(
+        self,
+        graph: UncertainGraph,
+        group: QueryGroup,
+        executor: Optional[SamplingExecutor],
+    ) -> tuple[WorldBatch, bool]:
+        """Fetch the group's world batch from the cache or sample it."""
+        cache = self.cache  # resolve once so get and put hit the same instance
+        if cache is not None:
+            cached = cache.get(group.key)
+            if cached is not None:
+                self.batches_reused += 1
+                return cached, True
+        engine = SamplingEngine(
+            group.key.backend, executor=executor, shard_size=self.shard_size
+        )
+        batch = engine.sample_worlds(
+            graph,
+            group.source,
+            group.key.n_samples,
+            seed=group.key.seed,
+            edges=None if group.edges is None else list(group.edges),
+        )
+        self.batches_sampled += 1
+        if cache is not None:
+            cache.put(group.key, batch)
+        return batch, False
+
+    # ------------------------------------------------------------------
+    # answering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(graph: UncertainGraph, request: QueryRequest) -> None:
+        """Mirror the single-query estimators' vertex validation.
+
+        :meth:`SamplingEngine.expected_flow` and ``pair_reachability``
+        reject unknown query vertices loudly; a batched request must not
+        degrade that into a silent all-zero answer.  (Component queries
+        match their estimator too: bogus edges fail the probability
+        lookup during sampling.)
+        """
+        if request.kind == EXPECTED_FLOW and not graph.has_vertex(request.source):
+            raise VertexNotFoundError(request.source)
+        if request.kind == PAIR_REACHABILITY:
+            for vertex in (request.source, request.target):
+                if not graph.has_vertex(vertex):
+                    raise VertexNotFoundError(vertex)
+
+    @staticmethod
+    def _trivial_result(request: QueryRequest) -> QueryResult:
+        """Pair query with source == target: certain, no sampling needed.
+
+        Mirrors :meth:`SamplingEngine.pair_reachability`, which pins the
+        estimate at probability 1.0 with the full requested sample count.
+        """
+        return QueryResult(
+            request=request,
+            reachability=ReachabilityEstimate(
+                probability=1.0,
+                n_samples=request.n_samples,
+                successes=request.n_samples,
+            ),
+            n_samples=request.n_samples,
+            from_cache=False,
+            world_digest=0,
+        )
+
+    def _answer(
+        self,
+        graph: UncertainGraph,
+        request: QueryRequest,
+        batch: WorldBatch,
+        from_cache: bool,
+        world_digest: int,
+    ) -> QueryResult:
+        if request.kind == EXPECTED_FLOW:
+            flow = aggregate_expected_flow(
+                graph, batch, include_query=request.include_query
+            )
+            return QueryResult(
+                request=request,
+                flow=flow,
+                n_samples=batch.n_samples,
+                from_cache=from_cache,
+                world_digest=world_digest,
+            )
+        if request.kind == COMPONENT_REACHABILITY:
+            targets = [vertex for vertex in request.targets if vertex != request.source]
+            return QueryResult(
+                request=request,
+                probabilities=aggregate_component_reachability(batch, targets),
+                n_samples=batch.n_samples,
+                from_cache=from_cache,
+                world_digest=world_digest,
+            )
+        return QueryResult(
+            request=request,
+            reachability=aggregate_pair_reachability(batch, request.target),
+            n_samples=batch.n_samples,
+            from_cache=from_cache,
+            world_digest=world_digest,
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, graph: UncertainGraph, requests: Iterable[QueryRequest]
+    ) -> List[QueryResult]:
+        """Answer a mixed batch of requests; results align with input order."""
+        request_list = list(requests)
+        for request in request_list:
+            self._validate(graph, request)
+        results: List[Optional[QueryResult]] = [None] * len(request_list)
+        executor = self._effective_executor()
+        plan = self.planner.plan(
+            graph,
+            request_list,
+            default_backend=self._backend_name(),
+            shard_size=self._shard_signature(executor),
+        )
+        self.last_plan = plan
+        for position, request in plan.trivial:
+            results[position] = self._trivial_result(request)
+        for group in plan.groups:
+            batch, from_cache = self._group_batch(graph, group, executor)
+            digest = group.key.digest
+            for position, request in group.requests:
+                results[position] = self._answer(
+                    graph, request, batch, from_cache, digest
+                )
+        return [result for result in results if result is not None]
+
+    def evaluate_one(self, graph: UncertainGraph, request: QueryRequest) -> QueryResult:
+        """Answer a single request (still cache-aware)."""
+        return self.evaluate(graph, [request])[0]
+
+    def warm(
+        self, graph: UncertainGraph, requests: Iterable[QueryRequest]
+    ) -> Dict[str, float]:
+        """Pre-sample every world batch a request batch will need.
+
+        Plans the batch and fills the cache for every group that is not
+        already resident, without aggregating any answers.  Returns the
+        cache statistics afterwards (an empty dict when caching is
+        disabled — warming is then a no-op, there is nowhere to keep the
+        batches).
+        """
+        cache = self.cache
+        if cache is None:
+            return {}
+        request_list = list(requests)
+        for request in request_list:
+            self._validate(graph, request)
+        executor = self._effective_executor()
+        plan = self.planner.plan(
+            graph,
+            request_list,
+            default_backend=self._backend_name(),
+            shard_size=self._shard_signature(executor),
+        )
+        self.last_plan = plan
+        for group in plan.groups:
+            self._group_batch(graph, group, executor)
+        return cache.stats()
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Statistics of the active cache (empty dict when disabled)."""
+        return {} if self.cache is None else self.cache.stats()
+
+    def close(self) -> None:
+        """Release the evaluator-owned executor (idempotent).
+
+        Only executors the evaluator built itself (integer specs) are
+        closed; shared instances and the process-wide default are left
+        running for their owners.
+        """
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "BatchEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["BatchEvaluator"]

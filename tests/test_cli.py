@@ -116,3 +116,89 @@ class TestExperiment:
         assert len(written) == 1
         assert (out_dir / "SUMMARY.md").exists()
         assert "CSV files written" in capsys.readouterr().out
+
+
+class TestBatch:
+    @staticmethod
+    def _write_requests(tmp_path, lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def test_batch_answers_match_single_query(self, graph_file, tmp_path, capsys):
+        import json
+
+        from repro.reachability.monte_carlo import (
+            monte_carlo_expected_flow,
+            monte_carlo_reachability,
+        )
+
+        requests = self._write_requests(
+            tmp_path,
+            [
+                '{"kind": "expected_flow", "query": 0, "n_samples": 80, "seed": 7}',
+                '{"kind": "pair_reachability", "source": 0, "target": 5, "n_samples": 80, "seed": 7}',
+                "# comments and blank lines are skipped",
+                "",
+            ],
+        )
+        out = tmp_path / "results.jsonl"
+        code = main(
+            ["batch", "--graph", str(graph_file), "--requests", str(requests),
+             "--out", str(out)]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 2
+        graph = read_json(graph_file)
+        flow = monte_carlo_expected_flow(graph, 0, n_samples=80, seed=7)
+        pair = monte_carlo_reachability(graph, 0, 5, n_samples=80, seed=7)
+        assert rows[0]["expected_flow"] == flow.expected_flow
+        assert rows[1]["probability"] == pair.probability
+        summary = capsys.readouterr().out
+        assert "world batches  : 1" in summary  # both requests shared one batch
+
+    def test_batch_warm_serves_from_cache(self, graph_file, tmp_path, capsys):
+        import json
+
+        requests = self._write_requests(
+            tmp_path,
+            ['{"kind": "expected_flow", "query": 0, "n_samples": 60, "seed": 1}'],
+        )
+        code = main(
+            ["batch", "--graph", str(graph_file), "--requests", str(requests), "--warm"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        row = json.loads(captured.out.splitlines()[0])
+        assert row["from_cache"] is True
+
+    def test_batch_rejects_bad_request_lines(self, graph_file, tmp_path):
+        requests = self._write_requests(
+            tmp_path, ['{"kind": "mystery", "query": 0}']
+        )
+        with pytest.raises(SystemExit):
+            main(["batch", "--graph", str(graph_file), "--requests", str(requests)])
+
+    def test_batch_rejects_missing_vertices_cleanly(self, graph_file, tmp_path):
+        requests = self._write_requests(
+            tmp_path, ['{"kind": "expected_flow", "query": 424242}']
+        )
+        with pytest.raises(SystemExit, match="batch evaluation failed"):
+            main(["batch", "--graph", str(graph_file), "--requests", str(requests)])
+
+    def test_batch_rejects_empty_request_file(self, graph_file, tmp_path):
+        requests = self._write_requests(tmp_path, ["# nothing here"])
+        with pytest.raises(SystemExit, match="no requests"):
+            main(["batch", "--graph", str(graph_file), "--requests", str(requests)])
+
+    def test_batch_validates_flags(self, graph_file, tmp_path):
+        requests = self._write_requests(
+            tmp_path, ['{"kind": "expected_flow", "query": 0}']
+        )
+        with pytest.raises(SystemExit):
+            main(["batch", "--graph", str(graph_file), "--requests", str(requests),
+                  "--cache-size", "-1"])
+        with pytest.raises(SystemExit):
+            main(["batch", "--graph", str(graph_file), "--requests", str(requests),
+                  "--workers", "0"])

@@ -18,6 +18,7 @@ from repro.experiments.reporting import (
     summarize_sweep,
 )
 from repro.graph.generators import erdos_renyi_graph, path_graph
+from repro.parallel.executor import SamplingExecutor, run_shard
 from repro.reachability.exact import exact_expected_flow
 
 
@@ -148,3 +149,107 @@ class TestReporting:
         averages = compare_algorithms(rows)
         assert averages["FT"] == pytest.approx(2.0)
         assert averages["Dijkstra"] == pytest.approx(1.0)
+
+
+class TestExecutorLifecycle:
+    """A failing selector run must never leak worker processes."""
+
+    class _RecordingExecutor(SamplingExecutor):
+        def __init__(self):
+            self.closed = False
+
+        def map_shards(self, tasks):
+            return [run_shard(task) for task in tasks]
+
+        def close(self):
+            self.closed = True
+
+    def test_failing_selector_closes_the_shared_executor(self, monkeypatch):
+        import repro.experiments.harness as harness_module
+
+        created = []
+
+        def recording_make_executor(spec):
+            assert spec == 2
+            executor = self._RecordingExecutor()
+            created.append(executor)
+            return executor
+
+        monkeypatch.setattr(harness_module, "make_executor", recording_make_executor)
+        graph = erdos_renyi_graph(20, average_degree=3, seed=0)
+        config = ExperimentConfig(workers=2, n_samples=20, naive_samples=20)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_algorithms(graph, 0, 2, ["NoSuchAlgorithm"], config=config)
+        assert created, "run_algorithms never built the shared executor"
+        assert all(executor.closed for executor in created)
+
+    def test_failing_selector_closes_a_real_process_pool(self):
+        from repro.parallel.executor import ProcessExecutor
+
+        captured = []
+        original_init = ProcessExecutor.__init__
+
+        def capturing_init(executor, workers=None):
+            original_init(executor, workers)
+            captured.append(executor)
+
+        graph = erdos_renyi_graph(20, average_degree=3, seed=0)
+        config = ExperimentConfig(workers=2, n_samples=20, naive_samples=20)
+        ProcessExecutor.__init__ = capturing_init
+        try:
+            with pytest.raises(ValueError, match="unknown algorithm"):
+                run_algorithms(graph, 0, 2, ["NoSuchAlgorithm"], config=config)
+        finally:
+            ProcessExecutor.__init__ = original_init
+        assert len(captured) == 1
+        assert captured[0].closed
+
+    def test_successful_run_closes_the_executor_too(self, monkeypatch):
+        import repro.experiments.harness as harness_module
+
+        created = []
+
+        def recording_make_executor(spec):
+            executor = self._RecordingExecutor()
+            created.append(executor)
+            return executor
+
+        monkeypatch.setattr(harness_module, "make_executor", recording_make_executor)
+        graph = erdos_renyi_graph(20, average_degree=3, seed=0)
+        config = ExperimentConfig(workers=1, n_samples=20, naive_samples=20)
+        runs = run_algorithms(graph, 0, 2, ["Dijkstra"], config=config)
+        assert len(runs) == 1
+        assert created and all(executor.closed for executor in created)
+
+
+class TestRunQueryBatch:
+    def test_answers_match_single_query_estimators(self):
+        from repro.experiments.harness import run_query_batch
+        from repro.reachability.monte_carlo import monte_carlo_expected_flow
+        from repro.service import QueryRequest
+
+        graph = erdos_renyi_graph(30, average_degree=3, seed=1)
+        requests = [
+            QueryRequest(kind="expected_flow", source=0, n_samples=80, seed=5),
+            QueryRequest(kind="pair_reachability", source=0, target=4,
+                         n_samples=80, seed=5),
+        ]
+        config = ExperimentConfig(world_cache_size=8)
+        results = run_query_batch(graph, requests, config=config)
+        assert results[0].flow == monte_carlo_expected_flow(
+            graph, 0, n_samples=80, seed=5
+        )
+        assert results[1].reachability.n_samples == 80
+
+    def test_shared_evaluator_reuses_its_cache(self):
+        from repro.experiments.harness import run_query_batch
+        from repro.service import BatchEvaluator, QueryRequest, WorldCache
+
+        graph = erdos_renyi_graph(30, average_degree=3, seed=1)
+        requests = [QueryRequest(kind="expected_flow", source=0, n_samples=80, seed=5)]
+        evaluator = BatchEvaluator(cache=WorldCache())
+        first = run_query_batch(graph, requests, evaluator=evaluator)
+        second = run_query_batch(graph, requests, evaluator=evaluator)
+        assert not first[0].from_cache
+        assert second[0].from_cache
+        assert first[0].flow == second[0].flow

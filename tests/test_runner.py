@@ -59,3 +59,29 @@ class TestSummaryTable:
             figure="x", description="demo", csv_path=None, n_rows=0
         )
         assert "demo" in summary_table([artifact])
+
+
+class TestSharedWorldCache:
+    def test_run_all_figures_installs_and_restores_the_cache(self, monkeypatch):
+        import repro.experiments.runner as runner_module
+        from repro.experiments.config import ExperimentConfig
+        from repro.service.cache import get_default_world_cache, set_default_world_cache
+
+        sentinel = get_default_world_cache()
+        seen = {}
+
+        def fake_run(selected, directory, config):
+            # the shared, explicitly sized cache is active during the run
+            seen["cache"] = get_default_world_cache()
+            return []
+
+        monkeypatch.setattr(runner_module, "_run_selected_figures", fake_run)
+        from dataclasses import replace
+
+        config = replace(ExperimentConfig.quick(), world_cache_size=16)
+        runner_module.run_all_figures(figures=["variance"], config=config)
+        assert seen["cache"] is not sentinel
+        assert seen["cache"].max_entries == 16
+        # restored afterwards
+        assert get_default_world_cache() is sentinel
+        set_default_world_cache(sentinel)
