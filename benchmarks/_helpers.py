@@ -21,6 +21,7 @@ from typing import Dict, Optional
 from repro.experiments.harness import evaluate_flow, pick_query_vertex
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.parallel.plan import DEFAULT_SHARD_SIZE
+from repro.runtime import current_config
 from repro.selection.registry import make_selector
 from repro.types import VertexId
 
@@ -41,8 +42,18 @@ def bench_environment(
     Perf trajectories are only comparable across machines when the
     payload says how many cores the run had and how the sampling was
     sharded — a 4-worker speedup measured on a 1-core container is not a
-    regression, it is a different machine.
+    regression, it is a different machine.  ``runtime_config`` records
+    the fully resolved :class:`repro.runtime.RuntimeConfig` the numbers
+    were measured under (active session → ``runtime.defaults`` →
+    built-in defaults), with the benchmark's explicit ``workers`` /
+    ``shard_size`` arguments overlaid, since benches thread those through
+    call arguments rather than sessions.
     """
+    runtime_config = current_config().as_dict()
+    if workers is not None:
+        runtime_config["workers"] = workers
+    if shard_size is not None:
+        runtime_config["shard_size"] = shard_size
     return {
         "cpu_count": os.cpu_count(),
         "workers": workers,
@@ -52,6 +63,7 @@ def bench_environment(
         "bench_scale": bench_scale(),
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "runtime_config": runtime_config,
     }
 
 

@@ -11,108 +11,94 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import make_selector, partitioned_graph
-from repro.experiments.harness import evaluate_flow, pick_query_vertex
+import repro
+from repro.experiments.harness import pick_query_vertex
 from repro.experiments.reporting import format_table
 
-# Every Monte-Carlo estimate runs on a pluggable possible-world sampling
-# backend: "vectorized" (batched NumPy, the default) or "naive" (one BFS
-# per world, the readable reference).  Both yield bit-for-bit identical
-# estimates for the same seed, so the choice is purely about speed.  Pick
-# one with the `backend` argument of make_selector / evaluate_flow /
-# ComponentSampler, `ExperimentConfig(backend=...)`, or `--backend` on
-# the CLI:
+# All runtime knobs live in one scoped configuration object,
+# repro.RuntimeConfig, activated with `with repro.session(...)`:
 #
-#     selector = make_selector("FT+M", n_samples=300, seed=7, backend="vectorized")
-#     flow = evaluate_flow(graph, edges, query, backend="naive")
+#   * backend     — possible-world sampling backend: "vectorized"
+#                   (batched NumPy, the default) or "naive" (one BFS per
+#                   world, the readable reference).  Both yield
+#                   bit-for-bit identical estimates for the same seed.
+#   * crn         — common-random-numbers candidate scoring (default
+#                   True): one shared batch of possible worlds per greedy
+#                   selection round.  crn=False restores the paper's
+#                   literal resample-per-candidate reference mode.
+#   * workers     — sharded parallel sampling: a worker count (the
+#                   session owns and closes the pool) or a shared
+#                   ProcessExecutor instance.  Results are bit-for-bit
+#                   identical for any worker count at a fixed
+#                   (seed, n_samples, shard_size).
+#   * n_samples   — default Monte-Carlo budget for the session's methods;
+#                   "auto" switches to adaptive CI-driven stopping.
+#   * seed        — default seed for the session's methods.
+#   * world_cache — digest-keyed LRU world cache for the batched query
+#                   service (an entry bound, 0 to disable, or a shared
+#                   WorldCache instance).
 #
-# Candidate scoring inside the greedy selectors additionally uses common
-# random numbers (CRN) by default: one shared batch of possible worlds
-# per selection round, scored incrementally through
-# repro.reachability.EvaluationContext — one backend draw amortized over
-# every candidate of the round, and no cross-candidate sampling noise.
-# `crn=False` (or --resample-per-candidate on the CLI) restores the
-# paper's literal resample-per-candidate reference mode:
+# Sessions scope cleanly (contextvar-based): they nest, restore the
+# enclosing configuration on exit, and are invisible to other threads.
+# The classic functional API (make_selector, monte_carlo_expected_flow,
+# BatchEvaluator, EvaluationContext, ...) still works and resolves its
+# unspecified arguments from the active session, so both styles compose:
 #
-#     selector = make_selector("Naive", n_samples=1000, seed=7, crn=False)
+#     with repro.session(backend="naive", workers=4):
+#         selector = repro.make_selector("FT+M", n_samples=1000, seed=7)
+#         result = selector.select(graph, query, budget)   # 4-way sharded, naive backend
 #
-# The context is also usable directly — one call scores a whole greedy
-# round against the same worlds:
-#
-#     from repro.reachability import EvaluationContext
-#     context = EvaluationContext(graph, query, n_samples=1000, seed=7)
-#     scores = context.score_candidates(selected_edges, candidate_edges)
-#     index, edge, flow = scores.best()
-#
-# Sampling scales across cores through repro.parallel: requests are split
-# into fixed-size shards, each shard draws from its own SeedSequence-
-# spawned child stream, and an executor fans the shards out — results are
-# bit-for-bit identical for any worker count at a fixed (seed, n_samples,
-# shard_size).  Pass a worker count (or a shared ProcessExecutor) to the
-# estimators and selectors, ExperimentConfig(workers=...), or --workers
-# on the CLI:
-#
-#     from repro import ProcessExecutor
-#     with ProcessExecutor(4) as pool:
-#         selector = make_selector("FT+M", n_samples=1000, seed=7, executor=pool)
-#
-# And instead of a fixed sample budget, n_samples="auto" keeps drawing
-# shards only until the confidence interval is tight enough:
-#
-#     from repro import AdaptiveSettings
-#     from repro.reachability import monte_carlo_reachability
-#     estimate = monte_carlo_reachability(
-#         graph, query, target, n_samples="auto", seed=7,
-#         adaptive=AdaptiveSettings(target_width=0.02, max_samples=5000),
-#     )
+# (The five legacy process-wide set_default_* functions still work for
+# one release but emit DeprecationWarning — see the README's migration
+# table.)
 
 
 def main() -> None:
     # 1. an uncertain graph with a locality structure (the paper's "partitioned"
     #    scheme): 300 vertices, degree 6, edge probabilities uniform in (0, 1],
     #    vertex weights uniform in [0, 10]
-    graph = partitioned_graph(300, degree=6, seed=42)
+    graph = repro.partitioned_graph(300, degree=6, seed=42)
     query = pick_query_vertex(graph)
     budget = 20
     print(f"graph: {graph.n_vertices} vertices / {graph.n_edges} edges, "
           f"query vertex {query}, budget k={budget}\n")
 
-    # 2. run three algorithms on the same instance
+    # 2. run three algorithms on the same instance inside one session;
+    #    every selection and evaluation below inherits the session's seed
+    #    policy and would inherit backend/workers/... the same way
     rows = []
-    for name in ("Dijkstra", "Naive", "FT+M"):
-        n_samples = 100 if name == "Naive" else 300
-        selector = make_selector(name, n_samples=n_samples, seed=7)
-        result = selector.select(graph, query, budget)
-        # evaluate every result with the same independent estimator
-        flow = evaluate_flow(graph, result.selected_edges, query, n_samples=800, seed=1)
-        rows.append(
-            {
-                "algorithm": result.algorithm,
-                "edges used": result.n_selected,
-                "expected flow": flow,
-                "runtime [s]": result.elapsed_seconds,
-            }
-        )
+    with repro.session(seed=7) as s:
+        for name in ("Dijkstra", "Naive", "FT+M"):
+            n_samples = 100 if name == "Naive" else 300
+            result = s.select(graph, query, budget, algorithm=name, n_samples=n_samples)
+            # evaluate every result with the same independent estimator
+            flow = s.evaluate_flow(graph, result.selected_edges, query,
+                                   n_samples=800, seed=1)
+            rows.append(
+                {
+                    "algorithm": result.algorithm,
+                    "edges used": result.n_selected,
+                    "expected flow": flow,
+                    "runtime [s]": result.elapsed_seconds,
+                }
+            )
 
     # 3. report
     print(format_table(rows, title="Expected information flow towards the query vertex"))
     print(
         "\nThe greedy selections reach a clearly higher expected flow than the Dijkstra\n"
         "spanning tree at the same edge budget.  With the default CRN candidate scoring\n"
-        "even the Naive whole-graph greedy is fast here; rerun with crn=False to see\n"
-        "the paper's literal per-candidate resampling cost."
+        "even the Naive whole-graph greedy is fast here; rerun inside\n"
+        "repro.session(crn=False) to see the paper's literal per-candidate resampling cost."
     )
 
-    # 4. adaptive sampling: stop as soon as the estimate is tight enough
-    #    instead of always paying a fixed budget
-    from repro import AdaptiveSettings
-    from repro.reachability import monte_carlo_reachability
-
+    # 4. adaptive sampling: a session whose default budget is "auto" stops
+    #    as soon as the estimate is tight enough instead of always paying
+    #    a fixed cost
     target = next(iter(graph.neighbors(query)))
-    settings = AdaptiveSettings(target_width=0.05, alpha=0.05, max_samples=4000)
-    estimate = monte_carlo_reachability(
-        graph, query, target, n_samples="auto", seed=7, adaptive=settings
-    )
+    settings = repro.AdaptiveSettings(target_width=0.05, alpha=0.05, max_samples=4000)
+    with repro.session(n_samples="auto", adaptive=settings, seed=7) as s:
+        estimate = s.pair_reachability(graph, query, target)
     print(
         f"\nAdaptive sampling: P({query} <-> {target}) = {estimate.probability:.3f} "
         f"pinned to a {settings.target_width}-wide CI after {estimate.n_samples} of "

@@ -35,6 +35,12 @@ The package is organised as:
   batches, with a digest-keyed LRU world cache;
 * :mod:`repro.digest` — the stable content-hashing scheme shared by the
   F-tree memo and the world cache;
+* :mod:`repro.runtime` — the unified Session API: one frozen
+  :class:`~repro.runtime.RuntimeConfig` bundling every runtime knob
+  (backend, CRN mode, workers, shard size, sample/seed policy, world
+  cache) and a contextvar-scoped :class:`~repro.runtime.Session` facade
+  (``with repro.session(...):``) that replaces the five legacy
+  process-wide ``set_default_*`` globals;
 * :mod:`repro.experiments` — the harness that regenerates every figure
   of the evaluation section.
 """
@@ -80,6 +86,8 @@ from repro.selection import (
     ALGORITHM_NAMES,
     SelectionResult,
 )
+from repro import runtime
+from repro.runtime import RuntimeConfig, Session, current_config, session
 
 __version__ = "1.0.0"
 
@@ -119,5 +127,10 @@ __all__ = [
     "make_selector",
     "ALGORITHM_NAMES",
     "SelectionResult",
+    "runtime",
+    "RuntimeConfig",
+    "Session",
+    "current_config",
+    "session",
     "__version__",
 ]

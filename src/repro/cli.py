@@ -10,6 +10,15 @@ Five subcommands cover the common workflows::
 
 (``python -m repro.cli`` works identically when the console script is
 not installed.)
+
+All four workload subcommands share one **runtime flag group**
+(``--backend --workers --shard-size --resample-per-candidate
+--cache-size``) that builds a single
+:class:`~repro.runtime.RuntimeConfig`; each command then runs inside
+``with repro.session(config):``, so every layer underneath — selectors,
+estimators, the batch evaluator, the figure harness — resolves its knobs
+from that one scoped configuration and owned pools/caches are released
+on exit, even on error paths.
 """
 
 from __future__ import annotations
@@ -24,15 +33,14 @@ from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.exceptions import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES, FigureResult
-from repro.experiments.harness import evaluate_flow, pick_query_vertex
+from repro.experiments.harness import pick_query_vertex
 from repro.experiments.reporting import format_table, rows_to_csv
 from repro.graph.io import read_json, write_json
 from repro.graph.validation import graph_stats
-from repro.parallel.executor import make_executor, set_default_executor
-from repro.parallel.plan import set_default_shard_size
-from repro.reachability.backends import BACKEND_NAMES, DEFAULT_BACKEND, set_default_backend
-from repro.selection.registry import ALGORITHM_NAMES, make_selector, set_default_crn
-from repro.service import BatchEvaluator, request_from_dict, result_to_dict
+from repro.reachability.backends import BACKEND_NAMES
+from repro.runtime import RuntimeConfig, current_config, session as runtime_session
+from repro.selection.registry import ALGORITHM_NAMES
+from repro.service import request_from_dict, result_to_dict
 from repro.types import Edge
 
 
@@ -44,17 +52,63 @@ _WORKERS_HELP = (
 _SHARD_SIZE_HELP = "possible worlds per shard when --workers is set"
 
 
-def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workers", type=int, default=None, help=_WORKERS_HELP)
-    parser.add_argument("--shard-size", type=int, default=None, help=_SHARD_SIZE_HELP)
+def add_runtime_flags(
+    parser: argparse.ArgumentParser, cache_size_default: Optional[int] = None
+) -> None:
+    """Attach the shared runtime flag group to a subcommand parser.
+
+    One group — ``--backend --workers --shard-size
+    --resample-per-candidate --cache-size`` — shared verbatim by
+    ``select``, ``evaluate``, ``batch`` and ``experiment``; the parsed
+    values build one :class:`~repro.runtime.RuntimeConfig` via
+    :func:`runtime_config_from_args`.
+    """
+    group = parser.add_argument_group(
+        "runtime", "scoped runtime configuration (one repro.session per command)"
+    )
+    group.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="possible-world sampling backend (default: library default)",
+    )
+    group.add_argument("--workers", type=int, default=None, help=_WORKERS_HELP)
+    group.add_argument("--shard-size", type=int, default=None, help=_SHARD_SIZE_HELP)
+    group.add_argument(
+        "--resample-per-candidate", action="store_true",
+        help="disable common-random-numbers scoring: redraw a fresh world batch "
+             "per probed candidate (the paper's literal, slower reference mode)",
+    )
+    group.add_argument(
+        "--cache-size", type=int, default=cache_size_default,
+        help="world-cache entry bound for service-backed evaluation "
+             "(0 disables caching; default: %(default)s)",
+    )
 
 
-def _validate_parallel_flags(args: argparse.Namespace) -> None:
-    """Fail fast with a clean message instead of a deep-stack traceback."""
+def runtime_config_from_args(
+    args: argparse.Namespace, n_samples: Optional[int] = None, seed=None
+) -> RuntimeConfig:
+    """Build the command's RuntimeConfig from the shared flag group.
+
+    Validation errors surface as a clean ``SystemExit`` message instead
+    of a deep-stack traceback.
+    """
+    # RuntimeConfig accepts workers=0 as "pin unsharded sampling", but on
+    # the CLI unsharded is already the default — keep rejecting the
+    # historically invalid flag value loudly
     if args.workers is not None and args.workers <= 0:
         raise SystemExit(f"--workers must be positive, got {args.workers}")
-    if args.shard_size is not None and args.shard_size <= 0:
-        raise SystemExit(f"--shard-size must be positive, got {args.shard_size}")
+    try:
+        return RuntimeConfig(
+            backend=args.backend,
+            crn=False if args.resample_per_candidate else None,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            n_samples=n_samples,
+            seed=seed,
+            world_cache=args.cache_size,
+        )
+    except (TypeError, ValueError) as error:
+        raise SystemExit(str(error)) from error
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,16 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--algorithm", choices=ALGORITHM_NAMES, default="FT+M")
     select.add_argument("--samples", type=int, default=500)
     select.add_argument("--seed", type=int, default=0)
-    select.add_argument(
-        "--backend", choices=BACKEND_NAMES, default=DEFAULT_BACKEND,
-        help="possible-world sampling backend",
-    )
-    select.add_argument(
-        "--resample-per-candidate", action="store_true",
-        help="disable common-random-numbers scoring: redraw a fresh world batch "
-             "per probed candidate (the paper's literal, slower reference mode)",
-    )
-    _add_parallel_flags(select)
+    add_runtime_flags(select)
     select.add_argument("--out", type=Path, default=None, help="write selected edges to this file")
 
     evaluate = subparsers.add_parser("evaluate", help="evaluate the expected flow of a selected edge set")
@@ -96,11 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--edges", type=Path, required=True, help="file with one 'u v' pair per line")
     evaluate.add_argument("--samples", type=int, default=1000)
     evaluate.add_argument("--seed", type=int, default=0)
-    evaluate.add_argument(
-        "--backend", choices=BACKEND_NAMES, default=DEFAULT_BACKEND,
-        help="possible-world sampling backend",
-    )
-    _add_parallel_flags(evaluate)
+    add_runtime_flags(evaluate)
 
     batch = subparsers.add_parser(
         "batch",
@@ -120,19 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--seed", type=int, default=0,
                        help="default seed for requests that do not set one")
     batch.add_argument(
-        "--backend", choices=BACKEND_NAMES, default=DEFAULT_BACKEND,
-        help="default possible-world sampling backend",
-    )
-    batch.add_argument(
-        "--cache-size", type=int, default=64,
-        help="world-cache entry bound (0 disables caching)",
-    )
-    batch.add_argument(
         "--warm", action="store_true",
         help="pre-sample every needed world batch into the cache before answering "
              "(the answering pass is then served entirely from cache)",
     )
-    _add_parallel_flags(batch)
+    add_runtime_flags(batch, cache_size_default=64)
 
     experiment = subparsers.add_parser("experiment", help="reproduce one of the paper's figures")
     experiment.add_argument(
@@ -141,16 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     experiment.add_argument("--quick", action="store_true", help="use the tiny smoke-test configuration")
-    experiment.add_argument(
-        "--backend", choices=BACKEND_NAMES, default=None,
-        help="override the possible-world sampling backend",
-    )
-    experiment.add_argument(
-        "--resample-per-candidate", action="store_true",
-        help="run every sampling-based selector in the per-candidate "
-             "resampling reference mode instead of the CRN default",
-    )
-    _add_parallel_flags(experiment)
+    add_runtime_flags(experiment)
     experiment.add_argument(
         "--output-dir", type=Path, default=None,
         help="write one CSV per figure (plus SUMMARY.md) into this directory",
@@ -183,33 +207,20 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_select(args: argparse.Namespace) -> int:
-    _validate_parallel_flags(args)
+    # build (and validate) the runtime config before touching the graph
+    # file, so a bad flag exits before any I/O
+    config = runtime_config_from_args(args, n_samples=args.samples, seed=args.seed)
     graph = read_json(args.graph)
     query = _parse_vertex(args.query, graph)
-    # build the executor once here (instead of passing the raw worker
-    # count down) so one pool serves the whole selection and its worker
-    # processes are released even when the selector raises
-    executor = make_executor(args.workers)
-    try:
-        selector = make_selector(
-            args.algorithm,
-            n_samples=args.samples,
-            seed=args.seed,
-            backend=args.backend,
-            crn=not args.resample_per_candidate,
-            executor=executor,
-            shard_size=args.shard_size,
-        )
-        result = selector.select(graph, query, args.budget)
-    finally:
-        if executor is not None:
-            executor.close()
+    with runtime_session(config) as session:
+        result = session.select(graph, query, args.budget, algorithm=args.algorithm)
+        resolved = current_config()  # the knobs the run actually used
     print(f"algorithm      : {result.algorithm}")
     print(f"query vertex   : {query}")
-    print(f"backend        : {args.backend}")
-    print(f"sampling mode  : {'resample-per-candidate' if args.resample_per_candidate else 'crn'}")
-    workers = "unsharded" if args.workers is None else str(args.workers)
-    print(f"workers        : {workers}")
+    print(f"backend        : {resolved.backend}")
+    print(f"sampling mode  : {'crn' if resolved.crn else 'resample-per-candidate'}")
+    workers = resolved.as_dict()["workers"]  # executor specs reduced to a count
+    print(f"workers        : {'unsharded' if workers in (None, 0) else workers}")
     print(f"edges selected : {result.n_selected} / budget {args.budget}")
     print(f"expected flow  : {result.expected_flow:.4f}")
     print(f"runtime        : {result.elapsed_seconds:.3f}s")
@@ -245,25 +256,14 @@ def _read_edge_file(path: Path, graph) -> List[Edge]:
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
-    _validate_parallel_flags(args)
+    config = runtime_config_from_args(args, seed=args.seed)
     graph = read_json(args.graph)
     query = _parse_vertex(args.query, graph)
     edges = _read_edge_file(args.edges, graph)
-    executor = make_executor(args.workers)
-    try:
-        flow = evaluate_flow(
-            graph,
-            edges,
-            query,
-            n_samples=args.samples,
-            seed=args.seed,
-            backend=args.backend,
-            executor=executor,
-            shard_size=args.shard_size,
+    with runtime_session(config) as session:
+        flow = session.evaluate_flow(
+            graph, edges, query, n_samples=args.samples, seed=args.seed
         )
-    finally:
-        if executor is not None:
-            executor.close()
     print(f"query vertex  : {query}")
     print(f"edges         : {len(edges)}")
     print(f"expected flow : {flow:.4f}")
@@ -294,26 +294,19 @@ def _read_request_file(path: Path, graph, default_n_samples: int, default_seed: 
 
 
 def _command_batch(args: argparse.Namespace) -> int:
-    _validate_parallel_flags(args)
+    config = runtime_config_from_args(args)
     if args.samples <= 0:
         raise SystemExit(f"--samples must be positive, got {args.samples}")
-    if args.cache_size < 0:
-        raise SystemExit(f"--cache-size must be >= 0, got {args.cache_size}")
     graph = read_json(args.graph)
     requests = _read_request_file(args.requests, graph, args.samples, args.seed)
-    with BatchEvaluator(
-        backend=args.backend,
-        executor=args.workers,
-        shard_size=args.shard_size,
-        cache=args.cache_size,
-    ) as evaluator:
+    with runtime_session(config) as session:
         try:
-            if args.warm:
-                evaluator.warm(graph, requests)
-            results = evaluator.evaluate(graph, requests)
+            results = session.batch(graph, requests, warm=args.warm)
         except ReproError as error:
             raise SystemExit(f"batch evaluation failed: {error}") from error
-        plan = evaluator.last_plan  # the plan evaluate() just built
+        evaluator = session.evaluator
+        plan = evaluator.last_plan  # the plan batch() just built
+        sampled, reused = evaluator.batches_sampled, evaluator.batches_reused
         stats = evaluator.cache_stats()
     lines = [json.dumps(result_to_dict(result)) for result in results]
     if args.out is not None:
@@ -324,7 +317,7 @@ def _command_batch(args: argparse.Namespace) -> int:
     summary = sys.stdout if args.out is not None else sys.stderr
     print(f"requests       : {len(requests)}", file=summary)
     print(f"world batches  : {len(plan.groups)} (amortization {plan.amortization:.1f}x)", file=summary)
-    print(f"sampled/reused : {evaluator.batches_sampled}/{evaluator.batches_reused}", file=summary)
+    print(f"sampled/reused : {sampled}/{reused}", file=summary)
     if stats:
         print(
             f"cache          : {int(stats['entries'])} entries, "
@@ -349,51 +342,16 @@ def _figure_rows(result) -> List[dict]:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    # validate before touching the process-wide defaults, so a bad value
-    # cannot leave a pool installed (or leak worker processes)
-    _validate_parallel_flags(args)
-    if args.workers is None:
-        if args.shard_size is not None:
-            print("note: --shard-size has no effect without --workers", file=sys.stderr)
-        return _command_experiment_crn(args)
-    # redirect every executor=None resolution, so per-figure default
-    # configurations shard their sampling over one shared pool
-    previous_executor = set_default_executor(args.workers)
-    previous_shard = (
-        set_default_shard_size(args.shard_size) if args.shard_size is not None else None
-    )
-    try:
-        return _command_experiment_crn(args)
-    finally:
-        if previous_shard is not None:
-            set_default_shard_size(previous_shard)
-        closing = set_default_executor(previous_executor)
-        if closing is not None:
-            closing.close()
-
-
-def _command_experiment_crn(args: argparse.Namespace) -> int:
-    if args.resample_per_candidate:
-        # redirect every crn=None resolution, so per-figure default
-        # configurations honour the flag too
-        previous_crn = set_default_crn(False)
-        try:
-            return _command_experiment_backend(args)
-        finally:
-            set_default_crn(previous_crn)
-    return _command_experiment_backend(args)
-
-
-def _command_experiment_backend(args: argparse.Namespace) -> int:
-    if args.backend is not None:
-        # redirect every backend=None resolution, so per-figure default
-        # configurations (and the variance ablation) honour the flag too
-        previous_backend = set_default_backend(args.backend)
-        try:
-            return _run_experiment(args)
-        finally:
-            set_default_backend(previous_backend)
-    return _run_experiment(args)
+    # validate before opening the session, so a bad value cannot build
+    # (or leak) a worker pool
+    config = runtime_config_from_args(args)
+    if args.workers is None and args.shard_size is not None:
+        print("note: --shard-size has no effect without --workers", file=sys.stderr)
+    # one session for the whole experiment: every per-figure default
+    # configuration resolves backend/crn/executor/shard-size from it, and
+    # an owned pool is released on exit even when a figure raises
+    with runtime_session(config):
+        return _run_experiment(args)
 
 
 def _run_experiment(args: argparse.Namespace) -> int:

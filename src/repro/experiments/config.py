@@ -167,6 +167,29 @@ class ExperimentConfig:
             budget=max(1, int(self.budget * factor)),
         )
 
+    def to_runtime_config(self):
+        """Project the runtime knobs into a :class:`repro.runtime.RuntimeConfig`.
+
+        Maps ``backend``/``crn``/``workers``/``shard_size`` onto the
+        session fields of the same meaning (experiment-only knobs —
+        sizes, budgets, algorithm lists — stay here).  The harness
+        activates the result as a session for every run, so one pool
+        serves the whole experiment.  ``world_cache_size`` is deliberately
+        *not* projected: it configures run-*wide* cache sharing — the
+        multi-figure runner installs it as one session around the whole
+        batch, and ``run_query_batch`` passes it per evaluator — so
+        projecting it here would pin a fresh per-run cache that shadows
+        the shared one.
+        """
+        from repro.runtime import RuntimeConfig
+
+        return RuntimeConfig(
+            backend=self.backend,
+            crn=self.crn,
+            workers=self.workers,
+            shard_size=self.shard_size,
+        )
+
     @classmethod
     def paper_scale(cls) -> "ExperimentConfig":
         """The configuration the paper reports (expensive: hours of runtime)."""

@@ -9,7 +9,6 @@ sampling noise).
 
 from __future__ import annotations
 
-import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -18,8 +17,9 @@ from repro.experiments.config import ExperimentConfig
 from repro.ftree.builder import build_ftree
 from repro.ftree.sampler import ComponentSampler
 from repro.graph.uncertain_graph import UncertainGraph
-from repro.parallel.executor import ExecutorLike, make_executor
+from repro.parallel.executor import ExecutorLike
 from repro.reachability.backends import BackendLike
+from repro.runtime import Session
 from repro.rng import SeedLike, derive_seed
 from repro.selection.base import SelectionResult
 from repro.selection.registry import make_selector
@@ -108,13 +108,15 @@ def run_algorithms(
 ) -> List[AlgorithmRun]:
     """Run every named algorithm on ``graph`` and evaluate the results uniformly."""
     config = config or ExperimentConfig()
-    # one executor instance for the whole run, so every selector (and the
-    # shared evaluation yardstick) reuses a single process pool; the
-    # context manager guarantees the pool's worker processes are released
-    # even when a selector raises mid-run
-    executor = make_executor(config.workers)
-    with executor if executor is not None else contextlib.nullcontext():
-        return _run_algorithms(graph, query, budget, algorithms, config, seed, executor)
+    # one session for the whole run: it owns the executor built from
+    # config.workers, so every selector (and the shared evaluation
+    # yardstick) reuses a single process pool, the configured knobs are
+    # also ambient for any nested default resolution, and session exit
+    # releases the pool's worker processes even when a selector raises
+    with Session(config.to_runtime_config()) as session:
+        return _run_algorithms(
+            graph, query, budget, algorithms, config, seed, session.executor
+        )
 
 
 def _run_algorithms(

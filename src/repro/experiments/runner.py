@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES, FigureResult
 from repro.experiments.reporting import compare_algorithms, format_table, rows_to_csv
-from repro.service.cache import WorldCache, set_default_world_cache
+from repro.runtime import session as runtime_session
 
 PathLike = Union[str, Path]
 
@@ -67,14 +67,12 @@ def run_all_figures(
         directory.mkdir(parents=True, exist_ok=True)
 
     if config is not None and config.world_cache_size:
-        # one explicitly sized world cache for the whole multi-figure run,
-        # so service-backed evaluations in different figures reuse each
-        # other's sampled batches; restored afterwards even on error
-        previous_cache = set_default_world_cache(WorldCache(config.world_cache_size))
-        try:
+        # one session-scoped, explicitly sized world cache for the whole
+        # multi-figure run, so service-backed evaluations in different
+        # figures reuse each other's sampled batches; session exit restores
+        # the enclosing cache (and drops this one's entries) even on error
+        with runtime_session(world_cache=config.world_cache_size):
             return _run_selected_figures(selected, directory, config)
-        finally:
-            set_default_world_cache(previous_cache)
     return _run_selected_figures(selected, directory, config)
 
 

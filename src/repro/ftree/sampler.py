@@ -87,6 +87,13 @@ class ComponentSampler:
         count given ``(seed, n_samples, shard_size)``.
     shard_size:
         Worlds per shard for the executor path.
+
+    ``backend``, ``executor`` and ``shard_size`` left at ``None`` resolve
+    from the active :func:`repro.session` (falling back to
+    ``repro.runtime.defaults``).  ``crn`` stays an explicit per-sampler
+    choice — the harness's evaluation yardstick relies on the sequential
+    reference stream regardless of how the enclosing session scores
+    selection candidates.
     """
 
     def __init__(

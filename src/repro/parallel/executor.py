@@ -24,6 +24,13 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro._runtime_state import (
+    UNSET,
+    current_effective,
+    defaults as _runtime_defaults,
+    normalize_store_field,
+    warn_deprecated,
+)
 from repro.reachability.backends.base import SamplingProblem, sample_flips
 
 
@@ -194,36 +201,51 @@ def make_executor(executor: ExecutorLike) -> Optional[SamplingExecutor]:
     raise TypeError(f"cannot interpret {executor!r} as a sampling executor")
 
 
-_default_executor: Optional[SamplingExecutor] = None
-
-
 def get_default_executor() -> Optional[SamplingExecutor]:
     """Return the executor every unspecified ``executor=None`` resolves to.
 
-    ``None`` — the initial state — means sampling stays unsharded
-    single-process, i.e. exactly the pre-subsystem behaviour.
+    Resolution order: the innermost active :func:`repro.session` (if it
+    pins workers/executor) → ``repro.runtime.defaults.executor`` →
+    ``None``.  ``None`` — the initial state — means sampling stays
+    unsharded single-process, i.e. exactly the pre-subsystem behaviour.
+    A raw spec assigned to ``repro.runtime.defaults.executor`` (e.g. a
+    worker count) is normalized through :func:`make_executor` here, so
+    direct store assignments behave like the legacy setter did.
     """
-    return _default_executor
+    effective = current_effective()
+    if effective is not None and effective.executor is not UNSET:
+        return effective.executor
+    # raw specs in the store are normalized once and pinned, so an int
+    # spec does not build a fresh pool on every resolution (or two pools
+    # under concurrent first resolutions)
+    return normalize_store_field(
+        "executor",
+        lambda value: value is not None and not isinstance(value, SamplingExecutor),
+        make_executor,
+    )
 
 
 def set_default_executor(executor: ExecutorLike) -> Optional[SamplingExecutor]:
-    """Override the process-wide default executor; returns the previous one.
+    """Deprecated shim over ``repro.runtime.defaults.executor``.
 
-    Mirrors :func:`repro.reachability.backends.set_default_backend`: it
-    lets entry points (e.g. the CLI's ``--workers`` flag) redirect every
-    unspecified ``executor=None`` resolution — including code paths that
-    build their own default configurations — without threading the
-    choice through each call site.  Pass ``None`` to restore unsharded
-    sampling.
+    Returns the previously stored default, mirroring the legacy
+    contract.  Prefer ``with repro.session(workers=...)`` for scoped
+    configuration (the session then also owns the pool's lifecycle), or
+    assign a resolved executor to ``repro.runtime.defaults.executor``
+    directly.  Pass ``None`` to restore unsharded sampling.
     """
-    global _default_executor
-    previous = _default_executor
-    _default_executor = make_executor(executor)
+    warn_deprecated(
+        "repro.parallel.set_default_executor()",
+        'use "with repro.session(workers=...)" for scoped configuration, '
+        "or assign repro.runtime.defaults.executor for a process-wide default",
+    )
+    previous = _runtime_defaults.executor
+    _runtime_defaults.executor = make_executor(executor)
     return previous
 
 
 def resolve_executor(executor: ExecutorLike) -> Optional[SamplingExecutor]:
-    """Resolve a call-site spec, falling back to the process-wide default."""
+    """Resolve a call-site spec, falling back to the session/process default."""
     if executor is None:
-        return _default_executor
+        return get_default_executor()
     return make_executor(executor)

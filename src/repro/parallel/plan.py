@@ -14,32 +14,50 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
+from repro._runtime_state import (
+    defaults as _runtime_defaults,
+    resolve_field,
+    warn_deprecated,
+)
+
 #: Default worlds per shard.  Small enough that a paper-scale request
 #: (1000-5000 samples) splits into enough shards to keep several workers
 #: busy, large enough that per-shard dispatch overhead stays negligible.
 DEFAULT_SHARD_SIZE = 256
 
-_default_shard_size = DEFAULT_SHARD_SIZE
-
 
 def get_default_shard_size() -> int:
-    """Return the shard size every unspecified ``shard_size=None`` resolves to."""
-    return _default_shard_size
+    """Return the shard size every unspecified ``shard_size=None`` resolves to.
+
+    Resolution order: the innermost active :func:`repro.session` (if it
+    pins a shard size) → ``repro.runtime.defaults.shard_size`` →
+    :data:`DEFAULT_SHARD_SIZE`.
+    """
+    return resolve_field("shard_size", DEFAULT_SHARD_SIZE)
 
 
 def set_default_shard_size(shard_size: int) -> int:
-    """Override the process-wide default shard size; returns the previous one.
+    """Deprecated shim over ``repro.runtime.defaults.shard_size``.
 
-    Mirrors :func:`repro.reachability.backends.set_default_backend` so
-    entry points (the CLI's ``--shard-size`` flag) can redirect every
-    unspecified resolution.  Remember that shard size is part of the
-    determinism key: changing it re-keys the per-shard seed split.
+    Returns the previously resolved default, mirroring the legacy
+    contract.  Prefer ``with repro.session(shard_size=...)`` for scoped
+    configuration, or assign ``repro.runtime.defaults.shard_size``
+    directly.  Remember that shard size is part of the determinism key:
+    changing it re-keys the per-shard seed split.
     """
-    global _default_shard_size
+    warn_deprecated(
+        "repro.parallel.set_default_shard_size()",
+        'use "with repro.session(shard_size=...)" for scoped configuration, '
+        "or assign repro.runtime.defaults.shard_size for a process-wide default",
+    )
     if shard_size <= 0:
         raise ValueError(f"shard_size must be positive, got {shard_size!r}")
-    previous = _default_shard_size
-    _default_shard_size = int(shard_size)
+    previous = (
+        _runtime_defaults.shard_size
+        if _runtime_defaults.shard_size is not None
+        else DEFAULT_SHARD_SIZE
+    )
+    _runtime_defaults.shard_size = int(shard_size)
     return previous
 
 

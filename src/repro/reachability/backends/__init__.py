@@ -20,6 +20,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple, Union
 
+from repro._runtime_state import (
+    defaults as _runtime_defaults,
+    resolve_field,
+    warn_deprecated,
+)
 from repro.reachability.backends.base import (
     CoreSamplingBackend,
     SamplingBackend,
@@ -33,35 +38,43 @@ from repro.reachability.backends.vectorized import VectorizedSamplingBackend
 #: constructed backend instance, or ``None`` for the default.
 BackendLike = Union[None, str, SamplingBackend]
 
-#: Backend used when callers do not specify one (the initial process-wide
-#: default; see :func:`set_default_backend` for runtime overrides).
+#: Backend used when nothing else pins one — neither an explicit call
+#: argument, nor an active :func:`repro.session`, nor
+#: ``repro.runtime.defaults.backend``.
 DEFAULT_BACKEND = "vectorized"
 
 _FACTORIES: Dict[str, Callable[[], SamplingBackend]] = {}
 
-_default_backend = DEFAULT_BACKEND
-
 
 def get_default_backend() -> str:
-    """Return the name every ``backend=None`` call currently resolves to."""
-    return _default_backend
+    """Return the name every ``backend=None`` call currently resolves to.
+
+    Resolution order: the innermost active :func:`repro.session` (if it
+    pins a backend) → ``repro.runtime.defaults.backend`` →
+    :data:`DEFAULT_BACKEND`.
+    """
+    return resolve_field("backend", DEFAULT_BACKEND)
 
 
 def set_default_backend(backend: str) -> str:
-    """Override the process-wide default backend; returns the previous name.
+    """Deprecated shim over ``repro.runtime.defaults.backend``.
 
-    Lets entry points (e.g. the CLI's ``experiment --backend`` flag)
-    redirect every unspecified ``backend=None`` resolution — including
-    code paths that build their own default configurations — without
-    threading the choice through each call site.
+    Returns the previously resolved default name, mirroring the legacy
+    contract.  Prefer a scoped session (``with repro.session(backend=...)``)
+    or, for a genuinely process-wide override, assigning
+    ``repro.runtime.defaults.backend`` directly — neither warns.
     """
-    global _default_backend
+    warn_deprecated(
+        "repro.reachability.backends.set_default_backend()",
+        'use "with repro.session(backend=...)" for scoped configuration, '
+        "or assign repro.runtime.defaults.backend for a process-wide default",
+    )
     if backend not in _FACTORIES:
         raise ValueError(
             f"unknown sampling backend {backend!r}; expected one of {backend_names()}"
         )
-    previous = _default_backend
-    _default_backend = backend
+    previous = _runtime_defaults.backend or DEFAULT_BACKEND
+    _runtime_defaults.backend = backend
     return previous
 
 
@@ -94,12 +107,12 @@ def backend_names() -> Tuple[str, ...]:
 def make_backend(backend: BackendLike = None) -> SamplingBackend:
     """Resolve a backend name / instance / ``None`` into a backend instance.
 
-    ``None`` resolves to the current default (see
-    :func:`set_default_backend`); instances pass through unchanged so
-    callers can share a configured backend object.
+    ``None`` resolves to the current default (active session →
+    ``repro.runtime.defaults`` → :data:`DEFAULT_BACKEND`); instances pass
+    through unchanged so callers can share a configured backend object.
     """
     if backend is None:
-        backend = _default_backend
+        backend = get_default_backend()
     if isinstance(backend, str):
         try:
             factory = _FACTORIES[backend]

@@ -13,6 +13,12 @@ NumPy — see :mod:`repro.reachability.backends`) can be chosen per call.
 Estimates are bit-for-bit deterministic per ``(seed, backend)``, and the
 built-in backends share one random-stream contract, so the same seed
 yields the same estimate on either backend.
+
+``backend``, ``executor`` and ``shard_size`` left at ``None`` resolve
+from the active :func:`repro.session` (then ``repro.runtime.defaults``);
+:meth:`repro.runtime.Session.expected_flow` and friends are the
+session-native spellings of the same estimators and reproduce them bit
+for bit.
 """
 
 from __future__ import annotations

@@ -20,8 +20,10 @@ per-iteration diagnostics.  Available selectors:
 All sampling-based selectors score candidates with common random
 numbers by default (one shared batch of possible worlds per selection
 round, see :mod:`repro.reachability.context`); pass ``crn=False`` — or
-flip the process-wide default with :func:`set_default_crn` — for the
-paper's literal per-candidate resampling reference mode.
+scope the default with ``with repro.session(crn=False):`` — for the
+paper's literal per-candidate resampling reference mode.  (The legacy
+:func:`set_default_crn` still works but is a deprecated shim over
+``repro.runtime.defaults``.)
 """
 
 from repro.selection.base import (

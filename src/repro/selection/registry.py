@@ -9,6 +9,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro._runtime_state import (
+    defaults as _runtime_defaults,
+    resolve_field,
+    warn_deprecated,
+)
 from repro.parallel.executor import ExecutorLike
 from repro.reachability.backends import BackendLike
 from repro.rng import SeedLike
@@ -30,30 +35,35 @@ ALGORITHM_NAMES = (
     "Random",
 )
 
-#: Initial process-wide default for common-random-numbers candidate
-#: scoring (see :func:`set_default_crn` for runtime overrides).
+#: Sampling mode used when nothing else pins one — neither an explicit
+#: ``crn=`` argument, nor an active :func:`repro.session`, nor
+#: ``repro.runtime.defaults.crn``.
 DEFAULT_CRN = True
-
-_default_crn = DEFAULT_CRN
 
 
 def get_default_crn() -> bool:
-    """Return the sampling mode every ``crn=None`` call resolves to."""
-    return _default_crn
+    """Return the sampling mode every ``crn=None`` call resolves to.
+
+    Resolution order: the innermost active :func:`repro.session` (if it
+    pins a mode) → ``repro.runtime.defaults.crn`` → :data:`DEFAULT_CRN`.
+    """
+    return resolve_field("crn", DEFAULT_CRN)
 
 
 def set_default_crn(crn: bool) -> bool:
-    """Override the process-wide default sampling mode; returns the previous one.
+    """Deprecated shim over ``repro.runtime.defaults.crn``.
 
-    Mirrors :func:`repro.reachability.backends.set_default_backend`: it
-    lets entry points (e.g. the CLI's ``--resample-per-candidate`` flag)
-    redirect every unspecified ``crn=None`` resolution — including code
-    paths that build their own default configurations — without
-    threading the choice through each call site.
+    Returns the previously resolved default, mirroring the legacy
+    contract.  Prefer ``with repro.session(crn=...)`` for scoped
+    configuration, or assign ``repro.runtime.defaults.crn`` directly.
     """
-    global _default_crn
-    previous = _default_crn
-    _default_crn = bool(crn)
+    warn_deprecated(
+        "repro.selection.set_default_crn()",
+        'use "with repro.session(crn=...)" for scoped configuration, '
+        "or assign repro.runtime.defaults.crn for a process-wide default",
+    )
+    previous = _runtime_defaults.crn if _runtime_defaults.crn is not None else DEFAULT_CRN
+    _runtime_defaults.crn = bool(crn)
     return previous
 
 

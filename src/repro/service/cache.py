@@ -27,10 +27,18 @@ content, and a weight edit can never serve a stale flow number.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Union
 
+from repro._runtime_state import (
+    UNSET,
+    current_effective,
+    defaults as _runtime_defaults,
+    normalize_store_field,
+    warn_deprecated,
+)
 from repro.digest import combine_digests, graph_digest
 from repro.reachability.engine import WorldBatch
 
@@ -77,6 +85,11 @@ class WorldCache:
     max_entries:
         Maximum number of cached batches; the least recently used entry
         is evicted beyond that.  ``None`` disables eviction.
+
+    All operations are thread-safe (one internal lock): a cache shared
+    by concurrent evaluators — e.g. through one long-lived
+    :func:`repro.session` serving several request threads — keeps its
+    LRU order and statistics consistent.
     """
 
     def __init__(self, max_entries: Optional[int] = 64) -> None:
@@ -85,6 +98,7 @@ class WorldCache:
         self.max_entries = max_entries
         self._entries: "OrderedDict[int, tuple[WorldKey, WorldBatch]]" = OrderedDict()
         self._by_graph: Dict[int, Set[int]] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -99,24 +113,26 @@ class WorldCache:
     # ------------------------------------------------------------------
     def get(self, key: WorldKey) -> Optional[WorldBatch]:
         """Return the cached batch for ``key`` (counting a hit or miss)."""
-        entry = self._entries.get(key.digest)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._entries.move_to_end(key.digest)
-        return entry[1]
+        with self._lock:
+            entry = self._entries.get(key.digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key.digest)
+            return entry[1]
 
     def put(self, key: WorldKey, batch: WorldBatch) -> None:
         """Store ``batch`` under ``key``, evicting the LRU entry if needed."""
         digest = key.digest
-        self._entries[digest] = (key, batch)
-        self._entries.move_to_end(digest)
-        self._by_graph.setdefault(key.graph_digest, set()).add(digest)
-        if self.max_entries is not None and len(self._entries) > self.max_entries:
-            evicted_digest, (evicted_key, _) = self._entries.popitem(last=False)
-            self._drop_graph_index(evicted_key.graph_digest, evicted_digest)
-            self.evictions += 1
+        with self._lock:
+            self._entries[digest] = (key, batch)
+            self._entries.move_to_end(digest)
+            self._by_graph.setdefault(key.graph_digest, set()).add(digest)
+            if self.max_entries is not None and len(self._entries) > self.max_entries:
+                evicted_digest, (evicted_key, _) = self._entries.popitem(last=False)
+                self._drop_graph_index(evicted_key.graph_digest, evicted_digest)
+                self.evictions += 1
 
     def _drop_graph_index(self, graph_key: int, digest: int) -> None:
         members = self._by_graph.get(graph_key)
@@ -140,31 +156,36 @@ class WorldCache:
             if isinstance(graph_or_digest, int)
             else graph_digest(graph_or_digest)
         )
-        members = self._by_graph.pop(digest, set())
-        for entry_digest in members:
-            self._entries.pop(entry_digest, None)
-        self.invalidations += len(members)
-        return len(members)
+        with self._lock:
+            members = self._by_graph.pop(digest, set())
+            for entry_digest in members:
+                self._entries.pop(entry_digest, None)
+            self.invalidations += len(members)
+            return len(members)
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""
-        self._entries.clear()
-        self._by_graph.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        with self._lock:
+            self._entries.clear()
+            self._by_graph.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.invalidations = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: WorldKey) -> bool:
-        return key.digest in self._entries
+        with self._lock:
+            return key.digest in self._entries
 
     def keys(self) -> "list[WorldKey]":
         """Cached keys, least recently used first (for tests/diagnostics)."""
-        return [key for key, _ in self._entries.values()]
+        with self._lock:
+            return [key for key, _ in self._entries.values()]
 
     @property
     def hit_rate(self) -> float:
@@ -173,18 +194,19 @@ class WorldCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, float]:
-        """Hit/miss/eviction statistics for reporting."""
-        return {
-            "entries": float(len(self._entries)),
-            "hits": float(self.hits),
-            "misses": float(self.misses),
-            "evictions": float(self.evictions),
-            "invalidations": float(self.invalidations),
-            "hit_rate": self.hit_rate,
-            "cached_worlds": float(
-                sum(batch.n_samples for _, batch in self._entries.values())
-            ),
-        }
+        """Hit/miss/eviction statistics for reporting (one consistent view)."""
+        with self._lock:
+            return {
+                "entries": float(len(self._entries)),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "evictions": float(self.evictions),
+                "invalidations": float(self.invalidations),
+                "hit_rate": self.hit_rate,
+                "cached_worlds": float(
+                    sum(batch.n_samples for _, batch in self._entries.values())
+                ),
+            }
 
 
 #: Accepted forms of a cache specification: ``None`` (process-wide
@@ -192,34 +214,61 @@ class WorldCache:
 #: instance to share across evaluators.
 CacheLike = Union[None, int, WorldCache]
 
-_default_world_cache: Optional[WorldCache] = None
+def get_default_world_cache() -> Optional[WorldCache]:
+    """Return the cache every unspecified ``cache=None`` spec resolves to.
 
-
-def get_default_world_cache() -> WorldCache:
-    """Return the process-wide world cache, creating it on first use.
-
-    Every :class:`~repro.service.evaluator.BatchEvaluator` built without
-    an explicit cache shares this instance — which is what lets
-    successive batch calls (e.g. repeated figure runs in one process)
-    reuse each other's sampled worlds.
+    Resolution order: the innermost active :func:`repro.session` (which
+    may pin a private cache, a shared instance, or ``None`` = caching
+    disabled) → ``repro.runtime.defaults.world_cache``, lazily creating
+    the shared process-wide :class:`WorldCache` on first use.  Sharing
+    that default instance is what lets successive batch calls (e.g.
+    repeated figure runs in one process) reuse each other's sampled
+    worlds.  A positive integer assigned to the store directly is
+    normalized once into a sized :class:`WorldCache` (mirroring the
+    executor store); to *disable* caching use a scoped
+    ``repro.session(world_cache=0)`` — the store itself cannot express
+    "off".
     """
-    global _default_world_cache
-    if _default_world_cache is None:
-        _default_world_cache = WorldCache()
-    return _default_world_cache
+    effective = current_effective()
+    if effective is not None and effective.world_cache is not UNSET:
+        return effective.world_cache
+    # lazy creation and raw-spec normalization happen once (shared lock in
+    # _runtime_state), so concurrent first resolutions share one instance
+    return normalize_store_field(
+        "world_cache",
+        lambda value: not isinstance(value, WorldCache),
+        _normalize_stored_cache,
+    )
+
+
+def _normalize_stored_cache(stored) -> WorldCache:
+    if stored is None:
+        return WorldCache()
+    if isinstance(stored, int) and not isinstance(stored, bool) and stored > 0:
+        return WorldCache(max_entries=stored)
+    raise TypeError(
+        f"repro.runtime.defaults.world_cache must be a WorldCache, a positive "
+        f"entry bound, or None, got {stored!r}; use "
+        f"repro.session(world_cache=0) to disable caching in a scope"
+    )
 
 
 def set_default_world_cache(cache: Optional[WorldCache]) -> Optional[WorldCache]:
-    """Replace the process-wide world cache; returns the previous one.
+    """Deprecated shim over ``repro.runtime.defaults.world_cache``.
 
-    Mirrors the other process-wide defaults (backend, executor, shard
-    size): entry points can install one shared, explicitly sized cache
-    for a whole run and restore the previous cache afterwards.  Pass
-    ``None`` to reset to lazy default creation.
+    Returns the previously stored default, mirroring the legacy
+    contract.  Prefer ``with repro.session(world_cache=...)`` for scoped
+    configuration (the session then also owns a private cache's
+    lifecycle), or assign ``repro.runtime.defaults.world_cache``
+    directly.  Pass ``None`` to reset to lazy default creation.
     """
-    global _default_world_cache
-    previous = _default_world_cache
-    _default_world_cache = cache
+    warn_deprecated(
+        "repro.service.set_default_world_cache()",
+        'use "with repro.session(world_cache=...)" for scoped configuration, '
+        "or assign repro.runtime.defaults.world_cache for a process-wide default",
+    )
+    previous = _runtime_defaults.world_cache
+    _runtime_defaults.world_cache = cache
     return previous
 
 

@@ -79,12 +79,13 @@ class BatchEvaluator:
     ----------
     backend:
         Default sampling backend for requests without an override
-        (``None`` defers to the library-wide default backend).
+        (``None`` defers to the active :func:`repro.session` /
+        library-wide default backend).
     executor:
         Sharded-sampling executor spec (see :mod:`repro.parallel`):
-        ``None`` defers to the process-wide default, an integer worker
-        count builds an executor the evaluator *owns* (closed by
-        :meth:`close`), an instance is shared and left open.
+        ``None`` defers to the active session / process-wide default, an
+        integer worker count builds an executor the evaluator *owns*
+        (closed by :meth:`close`), an instance is shared and left open.
     shard_size:
         Worlds per shard when an executor is active; part of every
         world key (the sharded and unsharded streams differ).
@@ -105,10 +106,10 @@ class BatchEvaluator:
         self._owns_executor = isinstance(executor, int) and not isinstance(executor, bool)
         self._executor: Optional[SamplingExecutor] = make_executor(executor)
         self.shard_size = shard_size
-        # a None spec tracks the process-wide default cache *lazily* (like
-        # the backend spec), so set_default_world_cache affects existing
-        # evaluators and no replaced cache is pinned alive; explicit specs
-        # are resolved once
+        # a None spec tracks the ambient default cache *lazily* (like the
+        # backend spec), so the active repro.session — and changes to
+        # runtime.defaults.world_cache — affect existing evaluators and no
+        # replaced cache is pinned alive; explicit specs are resolved once
         self._use_default_cache = cache is None
         self._cache: Optional[WorldCache] = None if cache is None else resolve_cache(cache)
         self.planner = QueryPlanner()

@@ -24,7 +24,6 @@ from repro.reachability.backends import (
     get_default_backend,
     make_backend,
     register_backend,
-    set_default_backend,
 )
 from repro.reachability.backends import _FACTORIES
 from repro.reachability.backends import vectorized as vectorized_module
@@ -190,20 +189,26 @@ class TestBackendRegistry:
         with pytest.raises(ExperimentError, match="unknown sampling backend"):
             ExperimentConfig(backend="warp-drive")
 
-    def test_set_default_backend_redirects_none(self):
-        previous = set_default_backend("naive")
+    def test_runtime_default_redirects_none(self):
+        # (the deprecated set_default_backend shim over this store is
+        # pinned in tests/test_runtime_deprecations.py)
+        from repro.runtime import defaults
+
+        defaults.backend = "naive"
         try:
-            assert previous == DEFAULT_BACKEND
             assert get_default_backend() == "naive"
             assert make_backend(None).name == "naive"
             assert ComponentSampler(n_samples=10)._engine.backend.name == "naive"
         finally:
-            set_default_backend(previous)
+            defaults.backend = None
         assert get_default_backend() == DEFAULT_BACKEND
 
-    def test_set_default_backend_rejects_unknown(self):
-        with pytest.raises(ValueError, match="unknown sampling backend"):
-            set_default_backend("warp-drive")
+    def test_session_scope_redirects_none(self):
+        import repro
+
+        with repro.session(backend="naive"):
+            assert get_default_backend() == "naive"
+            assert make_backend(None).name == "naive"
         assert get_default_backend() == DEFAULT_BACKEND
 
 

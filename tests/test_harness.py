@@ -165,7 +165,9 @@ class TestExecutorLifecycle:
             self.closed = True
 
     def test_failing_selector_closes_the_shared_executor(self, monkeypatch):
-        import repro.experiments.harness as harness_module
+        # run_algorithms now builds its executor through the Session it
+        # opens for the run, so the leak guard lives in repro.runtime
+        import repro.runtime as runtime_module
 
         created = []
 
@@ -175,7 +177,7 @@ class TestExecutorLifecycle:
             created.append(executor)
             return executor
 
-        monkeypatch.setattr(harness_module, "make_executor", recording_make_executor)
+        monkeypatch.setattr(runtime_module, "make_executor", recording_make_executor)
         graph = erdos_renyi_graph(20, average_degree=3, seed=0)
         config = ExperimentConfig(workers=2, n_samples=20, naive_samples=20)
         with pytest.raises(ValueError, match="unknown algorithm"):
@@ -205,7 +207,7 @@ class TestExecutorLifecycle:
         assert captured[0].closed
 
     def test_successful_run_closes_the_executor_too(self, monkeypatch):
-        import repro.experiments.harness as harness_module
+        import repro.runtime as runtime_module
 
         created = []
 
@@ -214,7 +216,7 @@ class TestExecutorLifecycle:
             created.append(executor)
             return executor
 
-        monkeypatch.setattr(harness_module, "make_executor", recording_make_executor)
+        monkeypatch.setattr(runtime_module, "make_executor", recording_make_executor)
         graph = erdos_renyi_graph(20, average_degree=3, seed=0)
         config = ExperimentConfig(workers=1, n_samples=20, naive_samples=20)
         runs = run_algorithms(graph, 0, 2, ["Dijkstra"], config=config)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.parallel import (
     AdaptiveSettings,
+    DEFAULT_SHARD_SIZE,
     ProcessExecutor,
     SerialExecutor,
     ShardTask,
@@ -12,8 +13,6 @@ from repro.parallel import (
     get_default_shard_size,
     make_executor,
     plan_shards,
-    set_default_executor,
-    set_default_shard_size,
 )
 from repro.parallel.adaptive import shard_rounds
 from repro.reachability.backends import make_backend
@@ -115,28 +114,39 @@ class TestExecutors:
 
 
 class TestDefaults:
+    # (the deprecated set_default_executor / set_default_shard_size shims
+    # over this store are pinned in tests/test_runtime_deprecations.py)
+
     def test_default_executor_round_trip(self):
+        from repro.runtime import defaults
+
         assert get_default_executor() is None
-        previous = set_default_executor(1)
+        defaults.executor = SerialExecutor()
         try:
             assert isinstance(get_default_executor(), SerialExecutor)
         finally:
-            set_default_executor(previous)
+            defaults.executor = None
         assert get_default_executor() is None
 
     def test_default_shard_size_round_trip(self):
+        from repro.runtime import defaults
+
         baseline = get_default_shard_size()
-        previous = set_default_shard_size(64)
+        defaults.shard_size = 64
         try:
             assert get_default_shard_size() == 64
-            assert previous == baseline
         finally:
-            set_default_shard_size(previous)
+            defaults.shard_size = None
         assert get_default_shard_size() == baseline
 
-    def test_default_shard_size_rejects_nonpositive(self):
-        with pytest.raises(ValueError):
-            set_default_shard_size(0)
+    def test_session_scope_pins_executor_and_shard_size(self):
+        import repro
+
+        with repro.session(workers=1, shard_size=64) as session:
+            assert get_default_executor() is session.executor
+            assert get_default_shard_size() == 64
+        assert get_default_executor() is None
+        assert get_default_shard_size() == DEFAULT_SHARD_SIZE
 
 
 class TestAdaptiveSettings:

@@ -16,7 +16,6 @@ from repro.parallel import (
     AdaptiveSettings,
     ProcessExecutor,
     SerialExecutor,
-    set_default_executor,
 )
 from repro.reachability.backends import BACKEND_NAMES
 from repro.reachability.context import EvaluationContext
@@ -179,12 +178,11 @@ class TestShardBoundaries:
 
 
 class TestDefaultExecutorRouting:
-    def test_global_default_shards_unspecified_calls(self, graph):
-        previous = set_default_executor(SerialExecutor())
-        try:
+    def test_session_default_shards_unspecified_calls(self, graph):
+        import repro
+
+        with repro.session(workers=SerialExecutor()):
             via_default = monte_carlo_expected_flow(graph, 0, n_samples=64, seed=6)
-        finally:
-            set_default_executor(previous)
         explicit = monte_carlo_expected_flow(
             graph, 0, n_samples=64, seed=6, executor=SerialExecutor()
         )

@@ -65,14 +65,17 @@ class TestSharedWorldCache:
     def test_run_all_figures_installs_and_restores_the_cache(self, monkeypatch):
         import repro.experiments.runner as runner_module
         from repro.experiments.config import ExperimentConfig
-        from repro.service.cache import get_default_world_cache, set_default_world_cache
+        from repro.runtime import current_session
+        from repro.service.cache import get_default_world_cache
 
         sentinel = get_default_world_cache()
         seen = {}
 
         def fake_run(selected, directory, config):
-            # the shared, explicitly sized cache is active during the run
+            # the session-scoped, explicitly sized cache is active during
+            # the run and resolves ahead of the process default
             seen["cache"] = get_default_world_cache()
+            seen["session"] = current_session()
             return []
 
         monkeypatch.setattr(runner_module, "_run_selected_figures", fake_run)
@@ -82,6 +85,7 @@ class TestSharedWorldCache:
         runner_module.run_all_figures(figures=["variance"], config=config)
         assert seen["cache"] is not sentinel
         assert seen["cache"].max_entries == 16
-        # restored afterwards
+        assert seen["session"] is not None
+        # scope exited afterwards: the process default is back
         assert get_default_world_cache() is sentinel
-        set_default_world_cache(sentinel)
+        assert current_session() is None

@@ -1,0 +1,161 @@
+"""The five legacy ``set_default_*`` globals: warnings + shim equivalence.
+
+Each legacy function must (a) emit a :class:`DeprecationWarning` that
+names its replacement, (b) keep its full legacy contract for one release
+(return the previous value, validate its argument), and (c) behave as a
+thin shim over the one ``repro.runtime.defaults`` store — setting through
+the shim and assigning the store field must be indistinguishable to
+every resolution point, and an active session must win over both.
+"""
+
+import pytest
+
+import repro
+from repro.parallel.executor import (
+    SerialExecutor,
+    get_default_executor,
+    set_default_executor,
+)
+from repro.parallel.plan import (
+    DEFAULT_SHARD_SIZE,
+    get_default_shard_size,
+    set_default_shard_size,
+)
+from repro.reachability.backends import (
+    DEFAULT_BACKEND,
+    get_default_backend,
+    set_default_backend,
+)
+from repro.runtime import defaults
+from repro.selection.registry import DEFAULT_CRN, get_default_crn, set_default_crn
+from repro.service.cache import (
+    WorldCache,
+    get_default_world_cache,
+    set_default_world_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_defaults():
+    """Snapshot the process-wide defaults store around every test."""
+    saved = {name: getattr(defaults, name) for name in defaults.__slots__}
+    yield
+    for name, value in saved.items():
+        setattr(defaults, name, value)
+
+
+class TestWarnings:
+    def test_set_default_backend_warns_with_migration_hint(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.session\(backend="):
+            previous = set_default_backend("naive")
+        assert previous == DEFAULT_BACKEND
+
+    def test_set_default_crn_warns_with_migration_hint(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.session\(crn="):
+            previous = set_default_crn(False)
+        assert previous is DEFAULT_CRN
+
+    def test_set_default_executor_warns_with_migration_hint(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.session\(workers="):
+            previous = set_default_executor(1)
+        assert previous is None
+
+    def test_set_default_shard_size_warns_with_migration_hint(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.session\(shard_size="):
+            previous = set_default_shard_size(64)
+        assert previous == DEFAULT_SHARD_SIZE
+
+    def test_set_default_world_cache_warns_with_migration_hint(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.session\(world_cache="):
+            previous = set_default_world_cache(WorldCache(4))
+        assert previous is None or isinstance(previous, WorldCache)
+
+
+class TestLegacyContract:
+    def test_backend_shim_round_trip(self):
+        with pytest.warns(DeprecationWarning):
+            previous = set_default_backend("naive")
+        assert get_default_backend() == "naive"
+        with pytest.warns(DeprecationWarning):
+            restored = set_default_backend(previous)
+        assert restored == "naive"
+        assert get_default_backend() == DEFAULT_BACKEND
+
+    def test_backend_shim_rejects_unknown_names(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown sampling backend"):
+                set_default_backend("warp-drive")
+        assert get_default_backend() == DEFAULT_BACKEND
+
+    def test_shard_size_shim_rejects_nonpositive(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                set_default_shard_size(0)
+        assert get_default_shard_size() == DEFAULT_SHARD_SIZE
+
+    def test_executor_shim_resolves_integer_specs(self):
+        with pytest.warns(DeprecationWarning):
+            set_default_executor(1)
+        assert isinstance(get_default_executor(), SerialExecutor)
+        with pytest.warns(DeprecationWarning):
+            previous = set_default_executor(None)
+        assert isinstance(previous, SerialExecutor)
+        assert get_default_executor() is None
+
+    def test_world_cache_shim_round_trip(self):
+        replacement = WorldCache(max_entries=3)
+        with pytest.warns(DeprecationWarning):
+            set_default_world_cache(replacement)
+        assert get_default_world_cache() is replacement
+        with pytest.warns(DeprecationWarning):
+            restored = set_default_world_cache(None)
+        assert restored is replacement
+
+
+class TestShimEquivalence:
+    """Shim writes and direct store assignments are indistinguishable."""
+
+    def test_backend_shim_and_store_assignment_agree(self):
+        with pytest.warns(DeprecationWarning):
+            set_default_backend("naive")
+        via_shim = get_default_backend()
+        defaults.backend = None
+        defaults.backend = "naive"
+        assert get_default_backend() == via_shim == "naive"
+        assert defaults.backend == "naive"
+
+    def test_crn_shim_writes_the_store(self):
+        with pytest.warns(DeprecationWarning):
+            set_default_crn(False)
+        assert defaults.crn is False
+        assert get_default_crn() is False
+        defaults.crn = True
+        assert get_default_crn() is True
+
+    def test_shard_size_shim_writes_the_store(self):
+        with pytest.warns(DeprecationWarning):
+            set_default_shard_size(96)
+        assert defaults.shard_size == 96
+        assert get_default_shard_size() == 96
+
+    def test_store_assignment_does_not_warn(self, recwarn):
+        defaults.backend = "naive"
+        defaults.crn = False
+        defaults.shard_size = 32
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]
+
+    def test_session_wins_over_shim_setting(self):
+        with pytest.warns(DeprecationWarning):
+            set_default_backend("naive")
+        with repro.session(backend="vectorized"):
+            assert get_default_backend() == "vectorized"
+        assert get_default_backend() == "naive"
+
+    def test_shim_setting_inside_session_surfaces_after_exit(self):
+        # the store is process-wide: a shim write inside a session does
+        # not affect the session's pinned knob, but persists past it
+        with repro.session(shard_size=32):
+            with pytest.warns(DeprecationWarning):
+                set_default_shard_size(48)
+            assert get_default_shard_size() == 32
+        assert get_default_shard_size() == 48

@@ -18,7 +18,7 @@ from repro.selection.ftree_greedy import FTreeGreedySelector
 from repro.selection.greedy_naive import NaiveGreedySelector
 from repro.selection.lazy_greedy import LazyGreedySelector
 from repro.selection.random_baseline import RandomSelector
-from repro.selection.registry import get_default_crn, make_selector, set_default_crn
+from repro.selection.registry import get_default_crn, make_selector
 
 MODES = (True, False)
 
@@ -113,14 +113,24 @@ class TestDefaultCrnToggle:
         assert get_default_crn() is True
         assert make_selector("Naive", n_samples=10).crn is True
 
-    def test_set_default_crn_redirects_none(self):
-        previous = set_default_crn(False)
+    def test_runtime_default_redirects_none(self):
+        # (the deprecated set_default_crn shim over this store is pinned
+        # in tests/test_runtime_deprecations.py)
+        from repro.runtime import defaults
+
+        defaults.crn = False
         try:
-            assert previous is True
             assert make_selector("Naive", n_samples=10).crn is False
             assert make_selector("FT+M", n_samples=10).crn is False
             # an explicit argument still wins over the default
             assert make_selector("Naive", n_samples=10, crn=True).crn is True
         finally:
-            set_default_crn(previous)
+            defaults.crn = None
+        assert get_default_crn() is True
+
+    def test_session_scope_redirects_none(self):
+        import repro
+
+        with repro.session(crn=False):
+            assert make_selector("Naive", n_samples=10).crn is False
         assert get_default_crn() is True

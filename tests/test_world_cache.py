@@ -10,7 +10,6 @@ from repro.service import (
     WorldCache,
     get_default_world_cache,
     resolve_cache,
-    set_default_world_cache,
 )
 from repro.service.cache import WorldKey
 
@@ -188,30 +187,50 @@ class TestCachedAnswersEqualFresh:
 
 
 class TestDefaultCache:
+    # (the deprecated set_default_world_cache shim over this store is
+    # pinned in tests/test_runtime_deprecations.py)
+
     def test_default_cache_is_shared_and_restorable(self, graph):
+        from repro.runtime import defaults
+
         replacement = WorldCache(max_entries=4)
-        previous = set_default_world_cache(replacement)
+        previous = defaults.world_cache
+        defaults.world_cache = replacement
         try:
             assert get_default_world_cache() is replacement
-            evaluator = BatchEvaluator()  # cache=None -> process default
+            evaluator = BatchEvaluator()  # cache=None -> ambient default
             assert evaluator.cache is replacement
             evaluator.evaluate_one(graph, flow_request())
             assert len(replacement) == 1
         finally:
-            set_default_world_cache(previous)
+            defaults.world_cache = previous
 
     def test_default_cache_is_tracked_lazily(self, graph):
+        from repro.runtime import defaults
+
         # an evaluator built BEFORE the default cache is swapped must
         # follow the swap (and must not pin the old cache alive)
         evaluator = BatchEvaluator()
         replacement = WorldCache(max_entries=4)
-        previous = set_default_world_cache(replacement)
+        previous = defaults.world_cache
+        defaults.world_cache = replacement
         try:
             evaluator.evaluate_one(graph, flow_request())
             assert len(replacement) == 1
         finally:
-            set_default_world_cache(previous)
+            defaults.world_cache = previous
         assert evaluator.cache is not replacement
+
+    def test_session_cache_wins_over_the_default(self, graph):
+        import repro
+
+        scoped = WorldCache(max_entries=4)
+        evaluator = BatchEvaluator()  # cache=None -> ambient default
+        with repro.session(world_cache=scoped):
+            assert evaluator.cache is scoped
+            evaluator.evaluate_one(graph, flow_request())
+            assert len(scoped) == 1
+        assert evaluator.cache is not scoped
 
     def test_last_plan_reflects_the_most_recent_call(self, graph):
         evaluator = BatchEvaluator(cache=WorldCache())
