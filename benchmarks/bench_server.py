@@ -1,0 +1,288 @@
+#!/usr/bin/env python3
+"""Load benchmark: the async serving tier versus a naive request loop.
+
+Measures what :mod:`repro.server` exists for, on the Fig. 5 graph-size
+sweep (Erdős graphs, degree 6): N concurrent clients fire the 64-query
+mixed workload of ``bench_queries`` at one server over real loopback
+TCP, and the coalescing dispatcher folds the concurrently-arriving
+requests into shared ``QueryPlanner`` groups served from one world
+cache.  The baseline is the pre-server serving story — a **naive
+one-request-per-evaluate loop** (one uncached ``BatchEvaluator.evaluate``
+call per request: no coalescing, no world reuse).
+
+Reported per size:
+
+* naive and served throughput (answers/s) and their ratio;
+* request latency percentiles (p50/p95/p99, ms) from the server's own
+  ``metrics`` surface — the numbers a ``{"kind": "metrics"}`` probe
+  reports, including the cache hit/miss counters;
+* coalescing effectiveness (batches dispatched, mean/largest batch).
+
+Two correctness gates run inside the benchmark and abort on violation:
+
+1. **determinism** — every answer every client receives must be
+   bit-for-bit identical to a direct ``BatchEvaluator`` call for the
+   same ``(seed, backend, shard plan)``;
+2. **backpressure** — a flood against a deliberately tiny
+   ``max_inflight`` bound must produce explicit ``over_capacity``
+   rejections and zero hangs (every request gets *some* response).
+
+Acceptance (ISSUE 6): coalesced serving must reach >= 3x the naive
+loop's throughput at Fig. 5 sizes with 8 concurrent clients (gated in
+full mode; ``--quick`` is the CI smoke run).
+
+CI-smokeable like the other plain-script benchmarks::
+
+    PYTHONPATH=src python benchmarks/bench_server.py                # full sweep
+    PYTHONPATH=src python benchmarks/bench_server.py --quick        # CI smoke
+    PYTHONPATH=src python benchmarks/bench_server.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from _helpers import bench_environment
+from bench_queries import build_workload
+from repro.graph.generators import erdos_renyi_graph
+from repro.runtime import RuntimeConfig
+from repro.server import ReproServer, ServerClient, ServerConfig, protocol
+from repro.service import BatchEvaluator, request_to_dict, result_to_dict
+
+#: Fig. 5 graph-size sweep (scaled down, degree 6 => |E| ~ 3*|V|).
+FULL_SIZES = (150, 300, 600)
+QUICK_SIZES = (60,)
+
+FULL_SAMPLES = 1000
+QUICK_SAMPLES = 150
+
+N_CLIENTS = 8
+TARGET_RATIO = 3.0
+
+#: Backpressure probe: flood size against a tiny admission bound.
+PROBE_INFLIGHT = 4
+PROBE_FLOOD = 24
+
+
+def comparable(payload: dict) -> dict:
+    """A response payload stripped to its deterministic evaluation bits."""
+    return {
+        key: value
+        for key, value in payload.items()
+        if key not in ("id", "ok", "latency_ms", "from_cache")
+    }
+
+
+def direct_reference(graph, requests) -> List[dict]:
+    """The bit oracle: direct, uncached BatchEvaluator answers."""
+    with BatchEvaluator(cache=0) as evaluator:
+        results = evaluator.evaluate(graph, requests)
+    return [comparable(json.loads(json.dumps(result_to_dict(r)))) for r in results]
+
+
+def run_naive_loop(graph, requests) -> float:
+    """The baseline: one uncached evaluate call per request."""
+    started = time.perf_counter()
+    with BatchEvaluator(cache=0) as evaluator:
+        for request in requests:
+            evaluator.evaluate(graph, [request])
+    return time.perf_counter() - started
+
+
+async def run_served_load(graph, requests, reference):
+    """N concurrent clients over real TCP; returns (seconds, metrics)."""
+    payloads = [request_to_dict(request) for request in requests]
+    server = ReproServer(
+        graph,
+        ServerConfig(
+            port=0,
+            batch_window_ms=5.0,
+            max_batch=128,
+            max_inflight=4096,
+            runtime=RuntimeConfig(world_cache=64),
+        ),
+    )
+    await server.start()
+    host, port = server.address
+
+    async def one_client() -> None:
+        client = await ServerClient.connect(host, port)
+        try:
+            responses = await asyncio.gather(
+                *(client.query(payload) for payload in payloads)
+            )
+        finally:
+            await client.close()
+        answers = [comparable(response) for response in responses]
+        if answers != reference:
+            raise SystemExit(
+                "served answers diverged from the direct BatchEvaluator bits"
+            )
+
+    try:
+        started = time.perf_counter()
+        await asyncio.gather(*(one_client() for _ in range(N_CLIENTS)))
+        elapsed = time.perf_counter() - started
+        metrics = server.metrics.snapshot()
+        metrics["cache"] = server._cache_stats()
+    finally:
+        await server.stop()
+    return elapsed, metrics
+
+
+async def run_backpressure_probe(graph, requests) -> dict:
+    """Flood a tiny admission bound; every request must get a response."""
+    payloads = [request_to_dict(requests[0])] * PROBE_FLOOD
+    server = ReproServer(
+        graph,
+        ServerConfig(
+            port=0,
+            max_inflight=PROBE_INFLIGHT,
+            max_batch=128,
+            batch_window_ms=200.0,
+            runtime=RuntimeConfig(world_cache=8),
+        ),
+    )
+    await server.start()
+    host, port = server.address
+    try:
+        client = await ServerClient.connect(host, port)
+        try:
+            responses = await asyncio.wait_for(
+                asyncio.gather(*(client.query(payload) for payload in payloads)),
+                timeout=120.0,
+            )
+        finally:
+            await client.close()
+    finally:
+        await server.stop()
+    rejected = [r for r in responses if protocol.is_rejection(r)]
+    answered = [r for r in responses if r.get("ok")]
+    if len(responses) != PROBE_FLOOD:
+        raise SystemExit("backpressure probe: some requests got no response")
+    if not rejected:
+        raise SystemExit(
+            "backpressure probe: the flood produced no over_capacity rejections"
+        )
+    if len(answered) + len(rejected) != PROBE_FLOOD:
+        raise SystemExit("backpressure probe: unexpected response mix")
+    return {
+        "flood": PROBE_FLOOD,
+        "max_inflight": PROBE_INFLIGHT,
+        "answered": len(answered),
+        "rejected": len(rejected),
+    }
+
+
+def bench_sizes(sizes, n_samples: int) -> List[dict]:
+    rows: List[dict] = []
+    for size in sizes:
+        graph = erdos_renyi_graph(size, average_degree=6.0, seed=size)
+        requests = build_workload(graph, n_samples)
+        reference = direct_reference(graph, requests)
+
+        naive_seconds = run_naive_loop(graph, requests)
+        served_seconds, metrics = asyncio.run(
+            run_served_load(graph, requests, reference)
+        )
+        backpressure = asyncio.run(run_backpressure_probe(graph, requests))
+
+        naive_throughput = len(requests) / naive_seconds
+        served_requests = N_CLIENTS * len(requests)
+        served_throughput = served_requests / served_seconds
+        rows.append(
+            {
+                "n_vertices": graph.n_vertices,
+                "n_edges": graph.n_edges,
+                "n_samples": n_samples,
+                "n_queries": len(requests),
+                "n_clients": N_CLIENTS,
+                "naive_seconds": naive_seconds,
+                "served_seconds": served_seconds,
+                "naive_throughput_qps": naive_throughput,
+                "served_throughput_qps": served_throughput,
+                "throughput_ratio": served_throughput / naive_throughput,
+                "latency_ms": metrics["latency_ms"],
+                "coalescing": metrics["coalescing"],
+                "cache": metrics["cache"],
+                "backpressure": backpressure,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny instance + 150 samples (CI smoke test)"
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write the benchmark report to this JSON file"
+    )
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    n_samples = QUICK_SAMPLES if args.quick else FULL_SAMPLES
+
+    rows = bench_sizes(sizes, n_samples)
+    header = (
+        f"{'|V|':>6} {'|E|':>6} {'served':>7} {'naive [q/s]':>12} "
+        f"{'served [q/s]':>13} {'ratio':>7} {'p50 [ms]':>9} {'p95 [ms]':>9} "
+        f"{'p99 [ms]':>9} {'hit rate':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        latency = row["latency_ms"]
+        print(
+            f"{row['n_vertices']:>6} {row['n_edges']:>6} "
+            f"{row['n_clients'] * row['n_queries']:>7} "
+            f"{row['naive_throughput_qps']:>12.1f} "
+            f"{row['served_throughput_qps']:>13.1f} "
+            f"{row['throughput_ratio']:>6.1f}x "
+            f"{latency['p50']:>9.2f} {latency['p95']:>9.2f} {latency['p99']:>9.2f} "
+            f"{row['cache']['hit_rate']:>9.0%}"
+        )
+
+    report = {
+        "bench": "server_tier",
+        "sizes": list(sizes),
+        "n_samples": n_samples,
+        "n_clients": N_CLIENTS,
+        "target_ratio": TARGET_RATIO,
+        "environment": bench_environment(),
+        "rows": rows,
+    }
+
+    exit_code = 0
+    if not args.quick:
+        worst = min(row["throughput_ratio"] for row in rows)
+        status = "PASS" if worst >= TARGET_RATIO else "FAIL"
+        report["acceptance"] = {
+            "gate": (
+                f"coalesced serving >= {TARGET_RATIO}x naive one-request-per-"
+                f"evaluate throughput with {N_CLIENTS} concurrent clients"
+            ),
+            "worst_throughput_ratio": worst,
+            "status": status,
+        }
+        print(
+            f"\nacceptance (served >= {TARGET_RATIO}x naive throughput, "
+            f"{N_CLIENTS} clients, all Fig. 5 sizes): {status} (worst {worst:.1f}x)"
+        )
+        if status == "FAIL":
+            exit_code = 1
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nBENCH JSON written to {args.json}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,10 @@ The package is organised as:
 * :mod:`repro.service` — the batched multi-query evaluation service:
   mixed batches of flow/reachability queries planned onto shared world
   batches, with a digest-keyed LRU world cache;
+* :mod:`repro.server` — the async serving tier: a JSONL-over-TCP front
+  end that coalesces concurrently-arriving queries into shared
+  evaluation batches, with per-tenant sessions, admission control and
+  a health/metrics surface;
 * :mod:`repro.digest` — the stable content-hashing scheme shared by the
   F-tree memo and the world cache;
 * :mod:`repro.runtime` — the unified Session API: one frozen
@@ -75,6 +79,7 @@ from repro.service import (
     QueryResult,
     WorldCache,
 )
+from repro.server import ReproServer, ServerClient, ServerConfig
 from repro.ftree import FTree, ComponentSampler, MemoCache, build_ftree
 from repro.selection import (
     DijkstraSelector,
@@ -115,6 +120,9 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "WorldCache",
+    "ReproServer",
+    "ServerClient",
+    "ServerConfig",
     "FTree",
     "ComponentSampler",
     "MemoCache",

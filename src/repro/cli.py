@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     repro-flow generate --dataset erdos --size 500 --out graph.json
     repro-flow select   --graph graph.json --query 0 --budget 20 --algorithm FT+M
     repro-flow evaluate --graph graph.json --query 0 --edges edges.txt
     repro-flow batch    --graph graph.json --requests queries.jsonl --out results.jsonl
+    repro-flow serve    --graph graph.json --port 7421
     repro-flow experiment --figure 7b
 
 (``python -m repro.cli`` works identically when the console script is
@@ -166,6 +167,32 @@ def build_parser() -> argparse.ArgumentParser:
              "(the answering pass is then served entirely from cache)",
     )
     add_runtime_flags(batch, cache_size_default=64)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="stand a JSONL-over-TCP query server on a graph (coalescing, "
+             "admission control, health/metrics)",
+    )
+    serve.add_argument("--graph", type=Path, required=True, help="graph JSON produced by 'generate'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="listen port (0 binds an ephemeral port; the bound "
+                            "address is printed on startup)")
+    serve.add_argument("--samples", type=int, default=1000,
+                       help="default sample count for requests that do not set one")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="default seed for requests that do not set one")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="most requests coalesced into one evaluation batch")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="how long the dispatcher waits for co-arriving requests")
+    serve.add_argument("--max-inflight", type=int, default=256,
+                       help="admission bound: requests beyond it are rejected "
+                            "with an explicit over_capacity response")
+    serve.add_argument("--warm", type=Path, default=None,
+                       help="JSONL request file whose world batches are pre-sampled "
+                            "into the cache before the server accepts connections")
+    add_runtime_flags(serve, cache_size_default=64)
 
     experiment = subparsers.add_parser("experiment", help="reproduce one of the paper's figures")
     experiment.add_argument(
@@ -330,6 +357,83 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import ServerConfig, load_warm_requests
+
+    config = runtime_config_from_args(args)
+    if args.samples <= 0:
+        raise SystemExit(f"--samples must be positive, got {args.samples}")
+    graph = read_json(args.graph)
+    warm_requests = ()
+    if args.warm is not None:
+        try:
+            warm_requests = tuple(
+                load_warm_requests(args.warm, graph, args.samples, args.seed)
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+    try:
+        server_config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            batch_window_ms=args.batch_window_ms,
+            max_inflight=args.max_inflight,
+            default_n_samples=args.samples,
+            default_seed=args.seed,
+            runtime=config,
+            warm_requests=warm_requests,
+        )
+    except (TypeError, ValueError) as error:
+        raise SystemExit(str(error)) from error
+    try:
+        return asyncio.run(_serve_until_signalled(graph, server_config))
+    except KeyboardInterrupt:  # pragma: no cover - interactive abort fallback
+        return 0
+
+
+async def _serve_until_signalled(graph, server_config) -> int:
+    """Run a server until SIGINT/SIGTERM, then drain gracefully."""
+    import asyncio
+    import signal
+
+    from repro.server import ReproServer
+
+    server = ReproServer(graph, server_config)
+    await server.start()
+    host, port = server.address
+    # machine-readable startup line: scripts launching `serve --port 0`
+    # parse the ephemeral port from here (hence the explicit flush)
+    print(f"repro-flow serving {graph.name or 'graph'} on {host}:{port}", flush=True)
+    if server_config.warm_requests:
+        print(
+            f"warmed {len(server_config.warm_requests)} requests into the cache",
+            file=sys.stderr,
+        )
+    loop = asyncio.get_running_loop()
+    stop_event = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop_event.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-unix
+            pass
+    try:
+        await stop_event.wait()
+    finally:
+        print("draining in-flight requests ...", file=sys.stderr)
+        await server.stop()
+        snapshot = server.metrics.snapshot()
+        requests = snapshot["requests"]
+        print(
+            f"served {requests['answered']} requests "
+            f"({requests['failed']} failed, {sum(requests['rejected'].values())} rejected)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _figure_rows(result) -> List[dict]:
     if isinstance(result, FigureResult):
         return result.rows
@@ -389,6 +493,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "select": _command_select,
         "evaluate": _command_evaluate,
         "batch": _command_batch,
+        "serve": _command_serve,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

@@ -137,6 +137,32 @@ class ExactEnumerationError(EstimationError, ValueError):
         self.limit = limit
 
 
+class ExecutorError(ReproError):
+    """Base class for sharded-sampling executor failures."""
+
+
+class WorkerCrashedError(ExecutorError, RuntimeError):
+    """A worker process died mid-batch (OOM kill, SIGKILL, hard crash).
+
+    The executor discards its broken pool when raising this, so the
+    *next* ``map_shards`` call transparently rebuilds a fresh pool —
+    retrying the same request is safe and yields the same bits (every
+    shard carries its own pre-split seed).
+    """
+
+    def __init__(self, workers: int, detail: str = "") -> None:
+        hint = f" ({detail})" if detail else ""
+        super().__init__(
+            f"a sampling worker process died mid-batch{hint}; this usually "
+            f"means the OS killed it (out-of-memory) or it crashed hard. "
+            f"The broken {workers}-worker pool has been discarded — retrying "
+            f"the call rebuilds a fresh pool and produces identical results; "
+            f"if it recurs, lower the worker count or shard size to reduce "
+            f"per-worker memory"
+        )
+        self.workers = workers
+
+
 class DatasetError(ReproError):
     """A named dataset is unknown or could not be generated/loaded."""
 

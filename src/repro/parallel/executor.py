@@ -18,6 +18,7 @@ against the serial reference by the worker-count invariance tests.
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
@@ -31,6 +32,7 @@ from repro._runtime_state import (
     normalize_store_field,
     warn_deprecated,
 )
+from repro.exceptions import WorkerCrashedError
 from repro.reachability.backends.base import SamplingProblem, sample_flips
 
 
@@ -130,6 +132,11 @@ class ProcessExecutor(SamplingExecutor):
             raise ValueError(f"workers must be positive, got {workers!r}")
         self.workers = resolved
         self._pool = None
+        # guards pool creation/teardown: two threads sharing one executor
+        # (a shared session, runtime.defaults.executor) must never each
+        # build a ProcessPoolExecutor — the loser's worker processes would
+        # leak forever and the closed flag would desync
+        self._pool_lock = threading.Lock()
         #: True after :meth:`close` until the pool is next used; lets
         #: lifecycle owners (harness, CLI, tests) assert that no worker
         #: processes outlive their run even on error paths
@@ -139,37 +146,63 @@ class ProcessExecutor(SamplingExecutor):
         return f"<ProcessExecutor workers={self.workers}>"
 
     def _ensure_pool(self):
-        if self._pool is None:
-            import concurrent.futures
-            import multiprocessing
+        with self._pool_lock:
+            if self._pool is None:
+                import concurrent.futures
+                import multiprocessing
 
-            # fork (where available) avoids re-importing NumPy per worker;
-            # the result is identical either way because every shard
-            # carries its own seed
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context("fork" if "fork" in methods else None)
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
-            )
-            self.closed = False
-        return self._pool
+                # fork (where available) avoids re-importing NumPy per worker;
+                # the result is identical either way because every shard
+                # carries its own seed
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context("fork" if "fork" in methods else None)
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+                self.closed = False
+            return self._pool
 
     def map_shards(self, tasks: Sequence[ShardTask]) -> List[np.ndarray]:
         tasks = list(tasks)
         if not tasks:
             return []
+        from concurrent.futures.process import BrokenProcessPool
+
         pool = self._ensure_pool()
-        return list(pool.map(run_shard, tasks, chunksize=1))
+        try:
+            return list(pool.map(run_shard, tasks, chunksize=1))
+        except BrokenProcessPool as error:
+            # a worker died mid-batch (OOM kill, SIGKILL, hard crash);
+            # the pool is permanently unusable — discard it so the next
+            # call rebuilds instead of failing forever, and surface a
+            # typed, actionable error instead of the opaque stdlib one
+            self._discard_pool(pool)
+            raise WorkerCrashedError(self.workers, detail=str(error) or "") from error
+
+    def _discard_pool(self, pool) -> None:
+        """Drop a broken pool without blocking on its wedged workers."""
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        self.closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self.closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown timing
+        # The finalizer must never block interpreter exit behind wedged
+        # workers, so unlike close() it abandons outstanding work:
+        # shutdown(wait=False, cancel_futures=True).
         try:
-            self.close()
+            pool = self.__dict__.get("_pool")
+            self._pool = None
+            self.closed = True
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
         except Exception:
             pass
 

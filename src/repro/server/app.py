@@ -1,0 +1,598 @@
+"""The asyncio serving tier: coalescing, admission control, sessions.
+
+:class:`ReproServer` stands a long-lived JSONL-over-TCP endpoint (plain
+``asyncio.start_server``, stdlib only) on top of the batched evaluation
+service.  The moving parts, in request order:
+
+1. **Admission** — each line is parsed and validated on the event loop
+   (exactly the :func:`repro.service.validate_request` rules), then
+   either *rejected immediately* with an explicit error response — the
+   server is draining, or the in-flight bound
+   (:attr:`ServerConfig.max_inflight`) is reached — or enqueued.
+   Rejection is always a response, never a hang: backpressure is part
+   of the protocol (see :mod:`repro.server.protocol`).
+2. **Coalescing** — a single dispatcher task drains the queue into
+   batches: everything already waiting is taken at once, then the
+   window (:attr:`ServerConfig.batch_window_ms`) is waited out for
+   co-arriving requests, up to :attr:`ServerConfig.max_batch`.
+   Concurrently arriving requests from *different connections* thereby
+   land in one :class:`~repro.service.evaluator.BatchEvaluator` call,
+   where the :class:`~repro.service.planner.QueryPlanner` collapses
+   them onto shared world batches — the whole point of the tier.
+3. **Evaluation** — batches run on one dedicated worker thread (the
+   event loop stays responsive for health/metrics and admission), each
+   tenant's slice through that tenant's contextvar-scoped
+   :class:`repro.runtime.Session`.  All tenants share the server's
+   executor and world cache; what a session scopes per tenant is the
+   configuration (and any future per-tenant knobs), so one tenant's
+   requests can never leak configuration into another's.
+4. **Response** — per-request writer tasks send each answer as soon as
+   its future resolves, tagged with the request's ``id`` (responses may
+   interleave across a pipelining connection) and its measured latency.
+
+The determinism contract survives the socket: an answer served over TCP
+is bit-for-bit the answer a direct
+:meth:`~repro.service.evaluator.BatchEvaluator.evaluate` call returns
+for the same ``(seed, backend, shard plan)`` — coalescing changes *when*
+worlds are sampled, never *which*.
+
+Lifecycle: :meth:`ReproServer.start` optionally warms the world cache
+(:attr:`ServerConfig.warm_requests`) before accepting connections;
+:meth:`ReproServer.stop` drains gracefully — stop listening, reject new
+work, finish every admitted request, flush every response, then release
+sessions, pool and evaluation thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.parallel.plan import get_default_shard_size
+from repro.runtime import RuntimeConfig, Session
+from repro.server import protocol
+from repro.server.metrics import ServerMetrics
+from repro.service.cache import get_default_world_cache
+from repro.service.evaluator import validate_request
+from repro.service.requests import (
+    QueryRequest,
+    request_from_dict,
+    result_to_dict,
+)
+
+#: Tenant key of requests that do not name one.
+DEFAULT_TENANT = ""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything a :class:`ReproServer` is configured by.
+
+    Attributes
+    ----------
+    host, port:
+        Listen address; port ``0`` binds an ephemeral port (the bound
+        address is :attr:`ReproServer.address` after ``start``).
+    max_batch:
+        Coalescing bound: at most this many queued requests are
+        dispatched as one evaluation batch.
+    batch_window_ms:
+        Coalescing window: after the first request of a batch arrives,
+        how long the dispatcher waits for co-arriving requests before
+        dispatching (``0`` dispatches whatever is already queued).
+    max_inflight:
+        Admission bound on requests admitted but not yet answered
+        (queued + evaluating); requests beyond it receive an explicit
+        ``over_capacity`` rejection response immediately.
+    default_n_samples, default_seed:
+        Fallbacks for requests that do not pin their own.
+    runtime:
+        The :class:`~repro.runtime.RuntimeConfig` every tenant session
+        derives from (backend, workers, shard size, world-cache spec).
+    warm_requests:
+        Requests whose world batches are pre-sampled into the cache
+        before the server starts accepting connections.
+    latency_window:
+        Sliding-window size of the latency percentile counters.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 64
+    batch_window_ms: float = 2.0
+    max_inflight: int = 256
+    default_n_samples: int = 1000
+    default_seed: int = 0
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    warm_requests: Tuple[QueryRequest, ...] = ()
+    latency_window: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch!r}")
+        if self.batch_window_ms < 0:
+            raise ValueError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms!r}"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight!r}")
+        if self.default_n_samples <= 0:
+            raise ValueError(
+                f"default_n_samples must be positive, got {self.default_n_samples!r}"
+            )
+        if not isinstance(self.runtime, RuntimeConfig):
+            raise TypeError(f"runtime must be a RuntimeConfig, got {self.runtime!r}")
+        if self.latency_window <= 0:
+            raise ValueError(
+                f"latency_window must be positive, got {self.latency_window!r}"
+            )
+        object.__setattr__(self, "warm_requests", tuple(self.warm_requests))
+
+
+class _Pending:
+    """One admitted query request travelling through the coalescing queue."""
+
+    __slots__ = ("request_id", "tenant", "request", "future", "enqueued_at")
+
+    def __init__(self, request_id, tenant, request, future, enqueued_at):
+        self.request_id = request_id
+        self.tenant = tenant
+        self.request = request
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class ReproServer:
+    """A JSONL-over-TCP query server over one uncertain graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph every query runs against.
+    config:
+        A :class:`ServerConfig`; keyword ``overrides`` are applied on
+        top (``ReproServer(graph, port=7421, max_batch=32)``).
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        config: Optional[ServerConfig] = None,
+        **overrides,
+    ) -> None:
+        base = config if config is not None else ServerConfig()
+        if overrides:
+            import dataclasses
+
+            base = dataclasses.replace(base, **overrides)
+        self.graph = graph
+        self.config = base
+        self.metrics = ServerMetrics(latency_window=base.latency_window)
+        self._root = Session(base.runtime)
+        self._sessions: Dict[str, Session] = {DEFAULT_TENANT: self._root}
+        self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue()
+        self._inflight = 0
+        self._draining = False
+        self._started = False
+        self._stopped = False
+        self._started_at: Optional[float] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._response_tasks: set = set()
+        self._writers: set = set()
+        self._eval_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-server-eval"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> "ReproServer":
+        """Warm the cache, start the dispatcher, begin accepting connections."""
+        if self._started:
+            raise RuntimeError("server is already started")
+        self._started = True
+        loop = asyncio.get_running_loop()
+        if self.config.warm_requests:
+            requests = list(self.config.warm_requests)
+            await loop.run_in_executor(
+                self._eval_pool, self._root.warm, self.graph, requests
+            )
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-server-dispatch"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self._started_at = time.monotonic()
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (then drain gracefully)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Graceful drain: finish admitted work, flush responses, release.
+
+        New requests are rejected with ``shutting_down`` the moment the
+        drain begins; every request admitted before it completes and its
+        response is written before connections close.  Idempotent.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # finish everything already admitted (the dispatcher marks each
+        # queue item done only after its futures are resolved) ...
+        await self._queue.join()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            await asyncio.gather(self._dispatcher, return_exceptions=True)
+        # ... and flush every response before tearing connections down
+        if self._response_tasks:
+            await asyncio.gather(*list(self._response_tasks), return_exceptions=True)
+        for writer in list(self._writers):
+            writer.close()
+        for writer in list(self._writers):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - client raced us
+                pass
+        self._writers.clear()
+        self._eval_pool.shutdown(wait=True)
+        for session in list(self._sessions.values()):
+            if session is not self._root:
+                session.close()
+        self._root.close()
+
+    # ------------------------------------------------------------------
+    # per-tenant sessions
+    # ------------------------------------------------------------------
+    def _tenant_runtime(self) -> RuntimeConfig:
+        """The runtime a tenant session derives from: the server's config
+        with owned resources replaced by the *resolved shared instances*,
+        so every tenant shares one pool and one world cache."""
+        runtime = self.config.runtime
+        executor = self._root.executor
+        if executor is not None:
+            runtime = runtime.replace(workers=executor)
+        cache = self._root.world_cache
+        if cache is not None:
+            runtime = runtime.replace(world_cache=cache)
+        return runtime
+
+    def _session_for(self, tenant: str) -> Session:
+        session = self._sessions.get(tenant)
+        if session is None:
+            session = Session(self._tenant_runtime())
+            self._sessions[tenant] = session
+        return session
+
+    @property
+    def tenants(self) -> List[str]:
+        """Tenants that have a live session (the default tenant is ``""``)."""
+        return sorted(self._sessions)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _cache_stats(self) -> Dict[str, float]:
+        cache = self._root.world_cache
+        if cache is None and self.config.runtime.world_cache is None:
+            cache = get_default_world_cache()
+        return {} if cache is None else cache.stats()
+
+    def _executor_info(self) -> Dict[str, object]:
+        executor = self._root.executor
+        if executor is None:
+            return {"workers": None, "shard_size": None, "sharded": False}
+        shard_size = self.config.runtime.shard_size
+        return {
+            "workers": executor.workers,
+            "shard_size": (
+                shard_size if shard_size is not None else get_default_shard_size()
+            ),
+            "sharded": True,
+        }
+
+    def _health_payload(self) -> Dict[str, object]:
+        return {
+            "kind": protocol.KIND_HEALTH,
+            "status": "draining" if self._draining else "ok",
+            "graph": {
+                "name": self.graph.name,
+                "n_vertices": self.graph.n_vertices,
+                "n_edges": self.graph.n_edges,
+            },
+            "uptime_s": (
+                None
+                if self._started_at is None
+                else round(time.monotonic() - self._started_at, 3)
+            ),
+            "inflight": self._inflight,
+            "tenants": len(self._sessions),
+        }
+
+    def _metrics_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"kind": protocol.KIND_METRICS}
+        payload.update(self.metrics.snapshot())
+        payload["cache"] = self._cache_stats()
+        payload["executor"] = self._executor_info()
+        payload["inflight"] = self._inflight
+        payload["max_inflight"] = self.config.max_inflight
+        payload["tenants"] = len(self._sessions)
+        return payload
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _admit(self, raw_line: bytes) -> Union[Dict[str, object], _Pending]:
+        """Parse, validate and admit one request line.
+
+        Returns a response dict for anything answered inline (control
+        kinds, malformed requests, rejections) or the enqueued
+        :class:`_Pending` for an admitted query.
+        """
+        try:
+            payload = protocol.decode_line(raw_line)
+        except (ValueError, UnicodeDecodeError) as error:
+            self.metrics.observe_bad_request()
+            return protocol.error_response(
+                None, protocol.ERR_BAD_REQUEST, f"malformed request line: {error}"
+            )
+        request_id = payload.pop("id", None)
+        kind = payload.get("kind")
+        if kind == protocol.KIND_HEALTH:
+            self.metrics.observe_control()
+            return protocol.ok_response(request_id, self._health_payload())
+        if kind == protocol.KIND_METRICS:
+            self.metrics.observe_control()
+            return protocol.ok_response(request_id, self._metrics_payload())
+        tenant = payload.pop("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant, str):
+            self.metrics.observe_bad_request()
+            return protocol.error_response(
+                request_id, protocol.ERR_BAD_REQUEST,
+                f"tenant must be a string, got {tenant!r}",
+            )
+        try:
+            request = request_from_dict(
+                payload,
+                graph=self.graph,
+                default_n_samples=self.config.default_n_samples,
+                default_seed=self.config.default_seed,
+            )
+            validate_request(self.graph, request)
+        except (ValueError, TypeError, ReproError) as error:
+            self.metrics.observe_bad_request()
+            return protocol.error_response(
+                request_id, protocol.ERR_BAD_REQUEST, str(error)
+            )
+        # backpressure: both rejections are explicit responses — a client
+        # must never hang because the server is busy or going away
+        if self._draining:
+            self.metrics.observe_rejected(protocol.ERR_SHUTTING_DOWN)
+            return protocol.error_response(
+                request_id, protocol.ERR_SHUTTING_DOWN,
+                "server is draining and accepts no new work",
+            )
+        if self._inflight >= self.config.max_inflight:
+            self.metrics.observe_rejected(protocol.ERR_OVER_CAPACITY)
+            return protocol.error_response(
+                request_id, protocol.ERR_OVER_CAPACITY,
+                f"server is at its in-flight request bound "
+                f"({self.config.max_inflight}); retry later",
+            )
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            request_id=request_id,
+            tenant=tenant,
+            request=request,
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
+        )
+        self._inflight += 1
+        self.metrics.observe_admitted()
+        self._queue.put_nowait(pending)
+        return pending
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        connection_tasks: set = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                outcome = self._admit(line)
+                if isinstance(outcome, dict):
+                    await self._write(writer, write_lock, outcome)
+                    continue
+                task = asyncio.create_task(
+                    self._respond(writer, write_lock, outcome)
+                )
+                connection_tasks.add(task)
+                self._response_tasks.add(task)
+                task.add_done_callback(connection_tasks.discard)
+                task.add_done_callback(self._response_tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-read; in-flight work still drains
+        finally:
+            # answers for a vanished client still resolve (decrementing
+            # the in-flight count); only the final close is ours to do
+            if connection_tasks:
+                await asyncio.gather(*list(connection_tasks), return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write(self, writer, write_lock: asyncio.Lock, response: dict) -> None:
+        async with write_lock:
+            writer.write(protocol.encode_line(response))
+            await writer.drain()
+
+    async def _respond(self, writer, write_lock: asyncio.Lock, pending: _Pending) -> None:
+        """Wait for one answer, account for it, and write it out."""
+        try:
+            status, payload = await pending.future
+        finally:
+            self._inflight -= 1
+        loop = asyncio.get_running_loop()
+        latency = loop.time() - pending.enqueued_at
+        if status == "ok":
+            body = result_to_dict(payload)
+            body["latency_ms"] = round(1000.0 * latency, 3)
+            response = protocol.ok_response(pending.request_id, body)
+            self.metrics.observe_answered(pending.request.kind, latency)
+        else:
+            error_type, message = payload
+            response = protocol.error_response(pending.request_id, error_type, message)
+            self.metrics.observe_failed()
+        try:
+            await self._write(writer, write_lock, response)
+        except (ConnectionError, OSError, RuntimeError):
+            pass  # client disconnected before its answer was ready
+
+    # ------------------------------------------------------------------
+    # coalescing dispatcher
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        window = self.config.batch_window_ms / 1000.0
+        while True:
+            batch = [await self._queue.get()]
+            # take everything already waiting — requests that piled up
+            # while the previous batch was evaluating coalesce for free
+            while len(batch) < self.config.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            # then wait out the coalescing window for co-arrivals
+            if window > 0 and len(batch) < self.config.max_batch:
+                deadline = loop.time() + window
+                while len(batch) < self.config.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            try:
+                await self._execute_batch(batch)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    async def _execute_batch(self, batch: Sequence[_Pending]) -> None:
+        """Evaluate one coalesced batch, one slice per tenant."""
+        self.metrics.observe_batch(len(batch))
+        by_tenant: Dict[str, List[_Pending]] = {}
+        for pending in batch:
+            by_tenant.setdefault(pending.tenant, []).append(pending)
+        loop = asyncio.get_running_loop()
+        for tenant, members in by_tenant.items():
+            session = self._session_for(tenant)
+            requests = [pending.request for pending in members]
+            try:
+                results = await loop.run_in_executor(
+                    self._eval_pool, session.batch, self.graph, requests
+                )
+            except ReproError as error:
+                outcome = ("error", (protocol.ERR_EVALUATION, str(error)))
+                for pending in members:
+                    pending.future.set_result(outcome)
+            except Exception as error:  # pragma: no cover - defensive
+                outcome = ("error", (protocol.ERR_INTERNAL, repr(error)))
+                for pending in members:
+                    pending.future.set_result(outcome)
+            else:
+                for pending, result in zip(members, results):
+                    pending.future.set_result(("ok", result))
+
+
+async def serve(
+    graph: UncertainGraph, config: Optional[ServerConfig] = None, **overrides
+) -> ReproServer:
+    """Build, start and return a server (the embedding entry point)::
+
+        server = await serve(graph, port=0, max_batch=32)
+        host, port = server.address
+        ...
+        await server.stop()
+    """
+    server = ReproServer(graph, config, **overrides)
+    await server.start()
+    return server
+
+
+def load_warm_requests(
+    path, graph, default_n_samples: int, default_seed: int
+) -> List[QueryRequest]:
+    """Read a JSONL request file into warm-up requests (used by the CLI)."""
+    requests: List[QueryRequest] = []
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            requests.append(
+                request_from_dict(
+                    json.loads(line),
+                    graph=graph,
+                    default_n_samples=default_n_samples,
+                    default_seed=default_seed,
+                )
+            )
+        except (ValueError, TypeError) as error:
+            raise ValueError(f"{path}:{line_number}: bad warm-up request: {error}")
+    return requests
+
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "ReproServer",
+    "ServerConfig",
+    "load_warm_requests",
+    "serve",
+]

@@ -1,0 +1,103 @@
+"""A small asyncio client for the serving tier's JSONL protocol.
+
+:class:`ServerClient` speaks :mod:`repro.server.protocol` over one TCP
+connection and correlates pipelined responses back to their requests by
+``id``, so callers can fire many queries concurrently on a single
+connection::
+
+    client = await ServerClient.connect(host, port)
+    responses = await asyncio.gather(
+        *(client.query(request_to_dict(r)) for r in requests)
+    )
+    health = await client.health()
+    await client.close()
+
+It exists for the benchmark harness, the test suite, and as executable
+documentation of the wire format; production callers on other stacks
+need nothing beyond a line-oriented socket and a JSON codec.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional
+
+from repro.server import protocol
+
+
+class ServerClient:
+    """One JSONL connection with id-based response correlation."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiting: Dict[object, asyncio.Future] = {}
+        #: responses with no waiting request (unsolicited / ``id``-less
+        #: errors, e.g. the reply to a malformed line) land here
+        self.unmatched: "asyncio.Queue[dict]" = asyncio.Queue()
+        self._pump = asyncio.create_task(self._pump_responses())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServerClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _pump_responses(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = protocol.decode_line(line)
+                future = self._waiting.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+                else:
+                    self.unmatched.put_nowait(response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            for future in self._waiting.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("server closed the connection"))
+            self._waiting.clear()
+
+    async def request(self, payload: dict, tenant: Optional[str] = None) -> dict:
+        """Send one request object and await its correlated response."""
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._waiting[request_id] = future
+        self._writer.write(protocol.request_line(payload, request_id=request_id, tenant=tenant))
+        await self._writer.drain()
+        return await future
+
+    # convenience wrappers -------------------------------------------------
+    async def query(self, payload: dict, tenant: Optional[str] = None) -> dict:
+        """Alias of :meth:`request` for query payloads (readability)."""
+        return await self.request(payload, tenant=tenant)
+
+    async def health(self) -> dict:
+        return await self.request({"kind": protocol.KIND_HEALTH})
+
+    async def metrics(self) -> dict:
+        return await self.request({"kind": protocol.KIND_METRICS})
+
+    async def send_raw(self, line: bytes) -> None:
+        """Write raw bytes (for protocol-abuse tests); responses to raw
+        lines surface on :attr:`unmatched`."""
+        self._writer.write(line)
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        self._pump.cancel()
+        await asyncio.gather(self._pump, return_exceptions=True)
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+__all__ = ["ServerClient"]

@@ -1,0 +1,152 @@
+"""Observability counters of the serving tier.
+
+:class:`ServerMetrics` aggregates everything the ``metrics`` control
+kind reports that the server itself owns — request outcomes, coalescing
+effectiveness, and a bounded sliding window of per-request latencies
+from which the percentile fields (p50/p95/p99) are computed.  Cache and
+executor statistics are *not* duplicated here; the server overlays
+``WorldCache.stats()`` and the executor's worker/shard configuration
+into the same snapshot at report time, so one ``metrics`` response is
+the whole observability surface.
+
+All mutators take one internal lock: counters are bumped from the event
+loop *and* read from arbitrary threads (tests, embedding applications),
+and a torn read would defeat the point of an observability surface —
+the same reasoning as :attr:`repro.service.cache.WorldCache.hit_rate`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Dict, Optional
+
+
+def percentile(sorted_values, q: float) -> Optional[float]:
+    """Nearest-rank percentile of an ascending sequence (``None`` if empty)."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class ServerMetrics:
+    """Request, rejection, coalescing and latency counters.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of most-recent request latencies retained for the
+        percentile fields.  Totals (counts, means) cover the server's
+        whole lifetime; percentiles describe the window.
+    """
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        if latency_window <= 0:
+            raise ValueError(f"latency_window must be positive, got {latency_window!r}")
+        self._lock = threading.Lock()
+        #: query requests admitted to the coalescing queue
+        self.admitted = 0
+        #: successful query responses, total and by request kind
+        self.answered = 0
+        self.answered_by_kind: Dict[str, int] = {}
+        #: error responses for *admitted* requests (evaluation failures)
+        self.failed = 0
+        #: explicit admission-control rejections, by error type
+        self.rejected: Dict[str, int] = {}
+        #: malformed / invalid requests turned away at parse time
+        self.bad_requests = 0
+        #: health/metrics control requests served
+        self.control = 0
+        #: coalescing: batches dispatched and the requests they carried
+        self.batches = 0
+        self.batched_requests = 0
+        self.largest_batch = 0
+        self._latencies: deque = deque(maxlen=latency_window)
+        self._latency_total = 0.0
+        self._latency_count = 0
+
+    # ------------------------------------------------------------------
+    # mutators
+    # ------------------------------------------------------------------
+    def observe_admitted(self) -> None:
+        with self._lock:
+            self.admitted += 1
+
+    def observe_answered(self, kind: str, latency_seconds: float) -> None:
+        with self._lock:
+            self.answered += 1
+            self.answered_by_kind[kind] = self.answered_by_kind.get(kind, 0) + 1
+            self._latencies.append(latency_seconds)
+            self._latency_total += latency_seconds
+            self._latency_count += 1
+
+    def observe_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def observe_rejected(self, error_type: str) -> None:
+        with self._lock:
+            self.rejected[error_type] = self.rejected.get(error_type, 0) + 1
+
+    def observe_bad_request(self) -> None:
+        with self._lock:
+            self.bad_requests += 1
+
+    def observe_control(self) -> None:
+        with self._lock:
+            self.control += 1
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.largest_batch = max(self.largest_batch, size)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """One consistent view of every counter (all numbers JSON-safe)."""
+        with self._lock:
+            window = sorted(self._latencies)
+            batches = self.batches
+            snapshot: Dict[str, object] = {
+                "requests": {
+                    "admitted": self.admitted,
+                    "answered": self.answered,
+                    "answered_by_kind": dict(self.answered_by_kind),
+                    "failed": self.failed,
+                    "rejected": dict(self.rejected),
+                    "bad_requests": self.bad_requests,
+                    "control": self.control,
+                },
+                "coalescing": {
+                    "batches": batches,
+                    "batched_requests": self.batched_requests,
+                    "largest_batch": self.largest_batch,
+                    "mean_batch_size": (
+                        self.batched_requests / batches if batches else None
+                    ),
+                },
+                "latency_ms": {
+                    "count": self._latency_count,
+                    "window": len(window),
+                    "mean": (
+                        1000.0 * self._latency_total / self._latency_count
+                        if self._latency_count
+                        else None
+                    ),
+                },
+            }
+        latency: Dict[str, object] = snapshot["latency_ms"]  # type: ignore[assignment]
+        for name, q in (("p50", 50.0), ("p95", 95.0), ("p99", 99.0)):
+            value = percentile(window, q)
+            latency[name] = None if value is None else 1000.0 * value
+        peak = window[-1] if window else None
+        latency["max"] = None if peak is None else 1000.0 * peak
+        return snapshot
+
+
+__all__ = ["ServerMetrics", "percentile"]

@@ -36,7 +36,7 @@ from repro.service.cache import (
     resolve_cache,
     set_default_world_cache,
 )
-from repro.service.evaluator import BatchEvaluator
+from repro.service.evaluator import BatchEvaluator, validate_request
 from repro.service.planner import QueryGroup, QueryPlan, QueryPlanner
 from repro.service.requests import (
     COMPONENT_REACHABILITY,
@@ -70,4 +70,5 @@ __all__ = [
     "resolve_cache",
     "result_to_dict",
     "set_default_world_cache",
+    "validate_request",
 ]

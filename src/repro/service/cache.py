@@ -189,9 +189,18 @@ class WorldCache:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when no lookups)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served from the cache (0.0 when no lookups).
+
+        Both counters are snapshotted under the lock so a concurrent
+        reader always sees a consistent ratio — reading ``hits`` and
+        ``misses`` in two unlocked steps can interleave with a writer
+        and report a rate computed from two different moments (the lock
+        is re-entrant, so :meth:`stats` may call this while holding it).
+        """
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def stats(self) -> Dict[str, float]:
         """Hit/miss/eviction statistics for reporting (one consistent view)."""

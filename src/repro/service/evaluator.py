@@ -72,6 +72,25 @@ from repro.service.requests import (
 )
 
 
+def validate_request(graph: UncertainGraph, request: QueryRequest) -> None:
+    """Mirror the single-query estimators' vertex validation.
+
+    :meth:`SamplingEngine.expected_flow` and ``pair_reachability``
+    reject unknown query vertices loudly; a batched request must not
+    degrade that into a silent all-zero answer.  (Component queries
+    match their estimator too: bogus edges fail the probability
+    lookup during sampling.)  Public so admission layers — the serving
+    tier rejects a bad request *before* it reaches the coalescing
+    queue — apply exactly the evaluator's rules.
+    """
+    if request.kind == EXPECTED_FLOW and not graph.has_vertex(request.source):
+        raise VertexNotFoundError(request.source)
+    if request.kind == PAIR_REACHABILITY:
+        for vertex in (request.source, request.target):
+            if not graph.has_vertex(vertex):
+                raise VertexNotFoundError(vertex)
+
+
 class BatchEvaluator:
     """Serves batches of mixed reachability/flow queries from shared worlds.
 
@@ -194,22 +213,7 @@ class BatchEvaluator:
     # ------------------------------------------------------------------
     # answering
     # ------------------------------------------------------------------
-    @staticmethod
-    def _validate(graph: UncertainGraph, request: QueryRequest) -> None:
-        """Mirror the single-query estimators' vertex validation.
-
-        :meth:`SamplingEngine.expected_flow` and ``pair_reachability``
-        reject unknown query vertices loudly; a batched request must not
-        degrade that into a silent all-zero answer.  (Component queries
-        match their estimator too: bogus edges fail the probability
-        lookup during sampling.)
-        """
-        if request.kind == EXPECTED_FLOW and not graph.has_vertex(request.source):
-            raise VertexNotFoundError(request.source)
-        if request.kind == PAIR_REACHABILITY:
-            for vertex in (request.source, request.target):
-                if not graph.has_vertex(vertex):
-                    raise VertexNotFoundError(vertex)
+    _validate = staticmethod(validate_request)
 
     @staticmethod
     def _trivial_result(request: QueryRequest) -> QueryResult:
@@ -351,4 +355,4 @@ class BatchEvaluator:
         self.close()
 
 
-__all__ = ["BatchEvaluator"]
+__all__ = ["BatchEvaluator", "validate_request"]

@@ -191,6 +191,120 @@ class TestDefaultExecutorRouting:
         assert via_default.expected_flow != unsharded.expected_flow
 
 
+class TestConcurrentServiceUse:
+    """Shared-resource contention must never change a single bit.
+
+    A long-lived service hands one :class:`WorldCache` and one
+    :class:`ProcessExecutor` to many concurrent evaluators (threads
+    and/or asyncio tasks).  These tests hammer that sharing and pin the
+    answers against an uncontended serial run with the same
+    ``(seed, backend, shard plan)`` — contention may reorder *when*
+    batches are sampled or served from cache, never *what* they contain.
+    """
+
+    N_THREADS = 6
+
+    @staticmethod
+    def _requests(graph):
+        from repro.service import QueryRequest
+
+        vertices = list(graph.vertices())
+        requests = []
+        for source in vertices[:3]:
+            requests.append(
+                QueryRequest(
+                    kind="expected_flow", source=source, n_samples=N_SAMPLES, seed=11
+                )
+            )
+            for target in vertices[3:7]:
+                requests.append(
+                    QueryRequest(
+                        kind="pair_reachability",
+                        source=source,
+                        target=target,
+                        n_samples=N_SAMPLES,
+                        seed=11,
+                    )
+                )
+        return requests
+
+    @staticmethod
+    def _payloads(results):
+        return [
+            (result.flow, result.reachability, result.probabilities)
+            for result in results
+        ]
+
+    def _serial_reference(self, graph, requests):
+        from repro.service import BatchEvaluator
+
+        evaluator = BatchEvaluator(
+            executor=SerialExecutor(), shard_size=SHARD_SIZE, cache=0
+        )
+        return self._payloads(evaluator.evaluate(graph, requests))
+
+    def test_threaded_shared_cache_and_executor_match_serial(self, graph):
+        import threading
+
+        from repro.service import BatchEvaluator, WorldCache
+
+        requests = self._requests(graph)
+        reference = self._serial_reference(graph, requests)
+        cache = WorldCache(max_entries=32)
+        outcomes = [None] * self.N_THREADS
+        start = threading.Barrier(self.N_THREADS)
+        with ProcessExecutor(2) as pool:
+
+            def run(slot):
+                evaluator = BatchEvaluator(
+                    executor=pool, shard_size=SHARD_SIZE, cache=cache
+                )
+                start.wait(timeout=10)  # all threads hit the cold pool together
+                try:
+                    outcomes[slot] = self._payloads(evaluator.evaluate(graph, requests))
+                except Exception as error:  # pragma: no cover - fails below
+                    outcomes[slot] = error
+
+            threads = [
+                threading.Thread(target=run, args=(slot,))
+                for slot in range(self.N_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        for outcome in outcomes:
+            assert not isinstance(outcome, Exception), outcome
+            assert outcome == reference
+        # contention bookkeeping stayed consistent: every lookup was
+        # either a hit or a miss, and the rate reflects one snapshot
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] >= len(reference) * 1.0
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+
+    def test_asyncio_tasks_over_shared_session_match_serial(self, graph):
+        import asyncio
+
+        import repro
+
+        requests = self._requests(graph)
+        reference = self._serial_reference(graph, requests)
+
+        async def hammer():
+            with repro.session(
+                workers=SerialExecutor(), shard_size=SHARD_SIZE, world_cache=32
+            ) as shared:
+                async def one():
+                    return self._payloads(
+                        await asyncio.to_thread(shared.batch, graph, requests)
+                    )
+
+                return await asyncio.gather(*(one() for _ in range(4)))
+
+        for outcome in asyncio.run(hammer()):
+            assert outcome == reference
+
+
 class TestAdaptiveStopping:
     def test_adaptive_pair_reachability_is_worker_invariant(self, graph, pools):
         settings = AdaptiveSettings(

@@ -43,6 +43,10 @@ EXPECTED_PUBLIC_API = sorted(
         "QueryRequest",
         "QueryResult",
         "WorldCache",
+        # async serving tier
+        "ReproServer",
+        "ServerClient",
+        "ServerConfig",
         # F-tree
         "FTree",
         "ComponentSampler",

@@ -249,3 +249,66 @@ class TestDefaultCache:
             resolve_cache(True)
         with pytest.raises(ValueError):
             resolve_cache(-1)
+
+
+class TestConcurrentStats:
+    """The statistics surface must stay consistent under contention.
+
+    ``hit_rate`` used to read ``hits`` and ``misses`` in two unlocked
+    steps, so a reader interleaving with a writer could see a ratio
+    computed from two different moments (e.g. momentarily > 1.0 after a
+    hit landed between the two reads).  Both counters are now
+    snapshotted under the cache lock.
+    """
+
+    def test_hit_rate_snapshot_is_consistent_under_writer_storm(self):
+        import threading
+        from types import SimpleNamespace
+
+        cache = WorldCache(max_entries=8)
+        key = make_key()
+        cache.put(key, SimpleNamespace(n_samples=4))
+        stop = threading.Event()
+        anomalies = []
+
+        def writer():
+            miss = make_key(seed=999)
+            while not stop.is_set():
+                cache.get(key)  # hit
+                cache.get(miss)  # miss
+
+        def reader():
+            while not stop.is_set():
+                rate = cache.hit_rate
+                if not (0.0 <= rate <= 1.0):
+                    anomalies.append(rate)
+                stats = cache.stats()
+                total = stats["hits"] + stats["misses"]
+                expected = stats["hits"] / total if total else 0.0
+                if stats["hit_rate"] != expected:
+                    anomalies.append(stats)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert anomalies == []
+
+    def test_hit_rate_matches_counters_exactly(self):
+        cache = WorldCache(max_entries=4)
+        key = make_key()
+        assert cache.hit_rate == 0.0
+        from types import SimpleNamespace
+
+        cache.get(key)  # miss
+        cache.put(key, SimpleNamespace(n_samples=4))
+        cache.get(key)  # hit
+        cache.get(key)  # hit
+        assert cache.hit_rate == pytest.approx(2 / 3)
+        assert cache.stats()["hit_rate"] == pytest.approx(2 / 3)
