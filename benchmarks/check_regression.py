@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare a fresh ``bench_backends.py --json`` report against a baseline.
+
+CI runs the backend benchmark on every push and diffs the dimensionless
+speedup ratios (``*_speedup``, ``csr_vs_vectorized``, ...) against the
+checked-in ``BENCH_backends.json``.  Ratios rather than raw seconds are
+compared because CI machines differ from the machine the baseline was
+recorded on — a slower runner scales every backend equally, but a real
+regression moves one backend relative to the others.
+
+A fresh ratio below ``(1 - tolerance)`` of the baseline ratio fails the
+check (default tolerance 25%).  Rows are matched on
+``(n_vertices, n_samples)``; a fresh report with *no* overlapping rows
+fails loudly rather than passing vacuously.  Ratio fields missing on
+either side (e.g. ``csr_numba_vs_vectorized`` when numba is absent) are
+ignored, so the same baseline serves both the plain and the numba CI
+legs::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py --quick --json fresh.json
+    python benchmarks/check_regression.py benchmarks/BENCH_backends.json fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_TOLERANCE = 0.25
+
+#: Only dimensionless ratio fields participate in the diff.
+RATIO_SUFFIXES = ("_speedup", "_vs_vectorized")
+
+
+def ratio_fields(row: dict) -> Dict[str, float]:
+    return {
+        key: float(value)
+        for key, value in row.items()
+        if key.endswith(RATIO_SUFFIXES) and isinstance(value, (int, float))
+    }
+
+
+def index_rows(report: dict) -> Dict[Tuple[int, int], dict]:
+    return {(row["n_vertices"], row["n_samples"]): row for row in report.get("rows", [])}
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> List[str]:
+    """Return a list of human-readable failure messages (empty = pass)."""
+    failures: List[str] = []
+    baseline_rows = index_rows(baseline)
+    fresh_rows = index_rows(fresh)
+    overlap = sorted(set(baseline_rows) & set(fresh_rows))
+    if not overlap:
+        return [
+            "no overlapping (n_vertices, n_samples) rows between baseline "
+            f"({sorted(baseline_rows)}) and fresh report ({sorted(fresh_rows)})"
+        ]
+
+    compared = 0
+    for key in overlap:
+        base_ratios = ratio_fields(baseline_rows[key])
+        fresh_ratios = ratio_fields(fresh_rows[key])
+        for field in sorted(set(base_ratios) & set(fresh_ratios)):
+            compared += 1
+            floor = base_ratios[field] * (1.0 - tolerance)
+            if fresh_ratios[field] < floor:
+                failures.append(
+                    f"row |V|={key[0]} samples={key[1]} {field}: "
+                    f"{fresh_ratios[field]:.2f}x < {floor:.2f}x "
+                    f"(baseline {base_ratios[field]:.2f}x - {tolerance:.0%})"
+                )
+    if compared == 0:
+        failures.append("overlapping rows share no ratio fields — nothing was compared")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="checked-in BENCH_backends.json")
+    parser.add_argument("fresh", type=Path, help="report from this run's --json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"PERF REGRESSION vs {args.baseline}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"no backend speedup regression vs {args.baseline} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,9 +19,14 @@ from repro.experiments.reporting import format_table
 # repro.RuntimeConfig, activated with `with repro.session(...)`:
 #
 #   * backend     — possible-world sampling backend: "vectorized"
-#                   (batched NumPy, the default) or "naive" (one BFS per
-#                   world, the readable reference).  Both yield
-#                   bit-for-bit identical estimates for the same seed.
+#                   (batched NumPy, the default), "csr" (frontier-sparse
+#                   propagation over the cached CSR graph layout, faster
+#                   on larger graphs — try backend="csr" below), or
+#                   "naive" (one BFS per world, the readable reference).
+#                   "csr-numba" appears too when numba is installed; run
+#                   `repro-flow backends` to list availability.  All
+#                   yield bit-for-bit identical estimates for the same
+#                   seed.
 #   * crn         — common-random-numbers candidate scoring (default
 #                   True): one shared batch of possible worlds per greedy
 #                   selection round.  crn=False restores the paper's

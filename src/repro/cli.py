@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows::
+Seven subcommands cover the common workflows::
 
     repro-flow generate --dataset erdos --size 500 --out graph.json
     repro-flow select   --graph graph.json --query 0 --budget 20 --algorithm FT+M
     repro-flow evaluate --graph graph.json --query 0 --edges edges.txt
     repro-flow batch    --graph graph.json --requests queries.jsonl --out results.jsonl
     repro-flow serve    --graph graph.json --port 7421
+    repro-flow backends
     repro-flow experiment --figure 7b
 
 (``python -m repro.cli`` works identically when the console script is
@@ -193,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL request file whose world batches are pre-sampled "
                             "into the cache before the server accepts connections")
     add_runtime_flags(serve, cache_size_default=64)
+
+    subparsers.add_parser(
+        "backends",
+        help="list the registered sampling backends with availability "
+             "(and why an optional backend is unavailable)",
+    )
 
     experiment = subparsers.add_parser("experiment", help="reproduce one of the paper's figures")
     experiment.add_argument(
@@ -445,6 +452,21 @@ def _figure_rows(result) -> List[dict]:
     raise SystemExit(f"unexpected figure result type {type(result)!r}")
 
 
+def _command_backends(args: argparse.Namespace) -> int:
+    from repro.reachability.backends import backend_availability, get_default_backend
+
+    default = get_default_backend()
+    for name, reason in backend_availability().items():
+        if reason is None:
+            status = "available"
+            if name == default:
+                status += " (default)"
+        else:
+            status = f"unavailable: {reason}"
+        print(f"{name:<12} {status}")
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     # validate before opening the session, so a bad value cannot build
     # (or leak) a worker pool
@@ -494,6 +516,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "evaluate": _command_evaluate,
         "batch": _command_batch,
         "serve": _command_serve,
+        "backends": _command_backends,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

@@ -27,6 +27,7 @@ from repro.exceptions import (
     SelfLoopError,
     VertexNotFoundError,
 )
+from repro.digest import graph_digest
 from repro.rng import SeedLike, ensure_rng
 from repro.types import Edge, EdgePair, VertexId, as_edge
 
@@ -48,7 +49,7 @@ class UncertainGraph:
     probabilities under possible-world semantics.
     """
 
-    __slots__ = ("name", "_adjacency", "_weights", "_probabilities")
+    __slots__ = ("name", "_adjacency", "_weights", "_probabilities", "_digest")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -58,6 +59,22 @@ class UncertainGraph:
         self._weights: Dict[VertexId, float] = {}
         #: Edge -> existence probability
         self._probabilities: Dict[Edge, float] = {}
+        #: memoized content digest; every mutator resets it to None
+        self._digest: Optional[int] = None
+
+    def content_digest(self) -> int:
+        """Stable 128-bit digest of the graph content (memoized).
+
+        Identical to :func:`repro.digest.graph_digest` but computed at
+        most once between mutations: every mutator drops the memo, so
+        the digest-keyed caches (world batches, graph layouts, query
+        plans) can key on graph content without paying an ``O(V + E)``
+        hash per call.  ``__slots__`` guarantees content can only change
+        through the mutator methods, which keeps the memo honest.
+        """
+        if self._digest is None:
+            self._digest = graph_digest(self)
+        return self._digest
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -95,6 +112,8 @@ class UncertainGraph:
         clone._adjacency = {v: set(nbrs) for v, nbrs in self._adjacency.items()}
         clone._weights = dict(self._weights)
         clone._probabilities = dict(self._probabilities)
+        # identical content ⇒ identical digest; share the memo if computed
+        clone._digest = self._digest
         return clone
 
     # ------------------------------------------------------------------
@@ -115,6 +134,7 @@ class UncertainGraph:
         _check_weight(weight)
         self._adjacency[vertex] = set()
         self._weights[vertex] = float(weight)
+        self._digest = None
 
     def remove_vertex(self, vertex: VertexId) -> None:
         """Remove a vertex and every edge incident to it."""
@@ -124,6 +144,7 @@ class UncertainGraph:
             self.remove_edge(vertex, neighbor)
         del self._adjacency[vertex]
         del self._weights[vertex]
+        self._digest = None
 
     def has_vertex(self, vertex: VertexId) -> bool:
         """Return True if the vertex exists in the graph."""
@@ -146,6 +167,7 @@ class UncertainGraph:
             raise VertexNotFoundError(vertex)
         _check_weight(weight)
         self._weights[vertex] = float(weight)
+        self._digest = None
 
     def weights(self) -> Dict[VertexId, float]:
         """Return a copy of the vertex-weight mapping."""
@@ -201,6 +223,7 @@ class UncertainGraph:
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
         self._probabilities[edge] = float(probability)
+        self._digest = None
         return edge
 
     def remove_edge(self, u: VertexId, v: VertexId) -> None:
@@ -211,6 +234,7 @@ class UncertainGraph:
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
         del self._probabilities[edge]
+        self._digest = None
 
     def has_edge(self, u: VertexId, v: VertexId) -> bool:
         """Return True if an edge between ``u`` and ``v`` exists."""
@@ -247,6 +271,7 @@ class UncertainGraph:
             raise EdgeNotFoundError(u, v)
         _check_probability(probability)
         self._probabilities[edge] = float(probability)
+        self._digest = None
 
     def probabilities(self) -> Dict[Edge, float]:
         """Return a copy of the edge-probability mapping."""

@@ -11,12 +11,26 @@ spectrum of estimators:
   (restricted) edge set once, delegates world generation and per-world
   reachability to a pluggable backend, and aggregates the resulting
   boolean world/vertex matrix into flow and reachability estimates;
+* :mod:`repro.reachability.layout` — the flat precomputed graph layout:
+  :class:`GraphLayout` interns a graph's vertices once into contiguous
+  ``edge_u`` / ``edge_v`` / ``probabilities`` arrays plus a CSR
+  half-edge adjacency, keyed by ``(graph content digest, ordered edge
+  restriction digest)`` in a process-wide LRU so repeated estimator
+  calls on the same graph skip all per-call re-interning;
+  :meth:`GraphLayout.problem` hands out :class:`SamplingProblem` views
+  in O(1).  The cache is invalidated alongside the service tier's
+  ``WorldCache`` (same graph-mutation path);
 * :mod:`repro.reachability.backends` — the backend registry.  Built-ins:
-  ``"naive"`` (one Python BFS per world, the behavioural reference) and
+  ``"naive"`` (one Python BFS per world, the behavioural reference),
   ``"vectorized"`` (a single ``n_samples x n_edges`` NumPy edge-flip
-  block plus batched label propagation, the fast default).  Both consume
+  block plus batched label propagation, the fast default), ``"csr"``
+  (frontier-sparse bit-packed propagation over the shared CSR layout —
+  per-round work shrinks with the frontier instead of staying ``O(E)``)
+  and ``"csr-numba"`` (the same backend pinned to a compiled
+  ``@njit`` per-world BFS kernel; registered only when numba is
+  importable — ``repro-flow backends`` lists availability).  All consume
   the random stream identically, so estimates are bit-for-bit
-  reproducible per seed on either backend; pick one via the ``backend``
+  reproducible per seed on every backend; pick one via the ``backend``
   argument of the estimators, :class:`ComponentSampler`,
   ``ExperimentConfig`` or the CLI's ``--backend`` flag;
 * :mod:`repro.reachability.context` — the evaluation-context layer

@@ -9,9 +9,17 @@ backends ship with the library:
   reference (:class:`~repro.reachability.backends.naive.NaiveSamplingBackend`);
 * ``"vectorized"`` — batched NumPy edge flips and label propagation over
   all worlds at once
-  (:class:`~repro.reachability.backends.vectorized.VectorizedSamplingBackend`).
+  (:class:`~repro.reachability.backends.vectorized.VectorizedSamplingBackend`);
+* ``"csr"`` — frontier-sparse propagation over the precomputed CSR
+  layout shared through :mod:`repro.reachability.layout`, with an
+  optional compiled numba kernel
+  (:class:`~repro.reachability.backends.csr.CSRSamplingBackend`);
+* ``"csr-numba"`` — the CSR backend pinned to the compiled kernel; only
+  registered when the numba availability probe passes (see
+  :func:`backend_availability` for the why-unavailable reason
+  otherwise).
 
-Both consume the random stream identically, so for the same seed they
+All consume the random stream identically, so for the same seed they
 return the same worlds and therefore bit-for-bit identical estimates.
 Third-party backends can be added with :func:`register_backend`.
 """
@@ -31,6 +39,11 @@ from repro.reachability.backends.base import (
     SamplingProblem,
     propagate_reachability_fallback,
 )
+from repro.reachability.backends.csr import (
+    CSRSamplingBackend,
+    NumbaCSRSamplingBackend,
+    numba_unavailable_reason,
+)
 from repro.reachability.backends.naive import NaiveSamplingBackend
 from repro.reachability.backends.vectorized import VectorizedSamplingBackend
 
@@ -44,6 +57,12 @@ BackendLike = Union[None, str, SamplingBackend]
 DEFAULT_BACKEND = "vectorized"
 
 _FACTORIES: Dict[str, Callable[[], SamplingBackend]] = {}
+
+#: Known-but-unavailable backend names mapped to a human-readable reason
+#: (e.g. ``"csr-numba" -> "numba is not installed"``).  These names are
+#: deliberately *not* registered, so CLI choices, test parametrization
+#: and ``BACKEND_NAMES`` only ever list backends that actually work.
+_UNAVAILABLE: Dict[str, str] = {}
 
 
 def get_default_backend() -> str:
@@ -104,6 +123,19 @@ def backend_names() -> Tuple[str, ...]:
     return tuple(_FACTORIES)
 
 
+def backend_availability() -> Dict[str, Optional[str]]:
+    """Map every known backend name to ``None`` (available) or a reason.
+
+    Registered backends map to ``None``; known-but-unregistered ones
+    (an optional dependency failed its import probe) map to the
+    human-readable why-unavailable string the probe produced.  The
+    ``repro-flow backends`` CLI subcommand prints this verbatim.
+    """
+    availability: Dict[str, Optional[str]] = {name: None for name in _FACTORIES}
+    availability.update(_UNAVAILABLE)
+    return availability
+
+
 def make_backend(backend: BackendLike = None) -> SamplingBackend:
     """Resolve a backend name / instance / ``None`` into a backend instance.
 
@@ -117,6 +149,11 @@ def make_backend(backend: BackendLike = None) -> SamplingBackend:
         try:
             factory = _FACTORIES[backend]
         except KeyError:
+            reason = _UNAVAILABLE.get(backend)
+            if reason is not None:
+                raise ValueError(
+                    f"sampling backend {backend!r} is unavailable: {reason}"
+                ) from None
             raise ValueError(
                 f"unknown sampling backend {backend!r}; expected one of {backend_names()}"
             ) from None
@@ -131,23 +168,35 @@ def make_backend(backend: BackendLike = None) -> SamplingBackend:
 
 register_backend("naive", NaiveSamplingBackend)
 register_backend("vectorized", VectorizedSamplingBackend)
+register_backend("csr", CSRSamplingBackend)
+_numba_probe = numba_unavailable_reason()
+if _numba_probe is None:
+    register_backend("csr-numba", NumbaCSRSamplingBackend)
+else:
+    _UNAVAILABLE["csr-numba"] = _numba_probe
 
 #: The built-in backend names, for CLI choices and test parametrization.
+#: Only backends that actually work in this environment appear here
+#: (``csr-numba`` joins when numba is importable).
 BACKEND_NAMES: Tuple[str, ...] = backend_names()
 
 __all__ = [
     "BACKEND_NAMES",
     "BackendLike",
     "CoreSamplingBackend",
+    "CSRSamplingBackend",
     "DEFAULT_BACKEND",
     "NaiveSamplingBackend",
+    "NumbaCSRSamplingBackend",
     "SamplingBackend",
     "SamplingProblem",
     "propagate_reachability_fallback",
     "VectorizedSamplingBackend",
+    "backend_availability",
     "backend_names",
     "get_default_backend",
     "make_backend",
+    "numba_unavailable_reason",
     "register_backend",
     "set_default_backend",
 ]

@@ -38,18 +38,94 @@ as ``propagate_reachability(problem, sample_flips(...), all edges)``.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 
 from repro.types import Edge, VertexId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (layout imports base)
+    from repro.reachability.layout import GraphLayout
 
 #: Ceiling on uniform doubles drawn per block (~32 MB of float64), so a
 #: flip draw never materializes ``n_samples x n_edges`` float64 at once:
 #: worlds are drawn in world-major chunks, which consumes the identical
 #: random stream and therefore preserves the bit-for-bit seed contract.
 MAX_FLIP_BLOCK_ELEMENTS = 4_194_304
+
+
+@dataclass(frozen=True, eq=False)
+class CSRAdjacency:
+    """Flat CSR adjacency over the half-edges of an indexed edge set.
+
+    For vertex ``v``, the half-edges incident to it occupy the slice
+    ``[indptr[v], indptr[v + 1])`` of the parallel ``neighbors`` /
+    ``edge_ids`` arrays: ``neighbors`` holds the vertex at the far end
+    and ``edge_ids`` the index of the connecting edge in the problem's
+    edge arrays.  Edges are undirected, so every edge appears twice —
+    once per endpoint — and the structure doubles as the head-grouped
+    half-edge layout the batched label-propagation backends sweep over.
+    """
+
+    indptr: np.ndarray
+    neighbors: np.ndarray
+    edge_ids: np.ndarray
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices the adjacency covers."""
+        return len(self.indptr) - 1
+
+    def pull_groups(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(vertices, offsets)`` of every non-empty CSR row, cached.
+
+        The dense-sweep structure of the csr backend: a full pull sweep
+        OR-reduces the half-edge array grouped at ``offsets`` into
+        ``vertices``.  Restricting to non-empty rows keeps the reduceat
+        offsets strictly increasing (an empty group would wrongly pick
+        up its successor's first element).
+        """
+        cached = self.__dict__.get("_pull_cache")
+        if cached is None:
+            vertices = np.flatnonzero(np.diff(self.indptr) > 0)
+            cached = (vertices, self.indptr[vertices])
+            object.__setattr__(self, "_pull_cache", cached)
+        return cached
+
+
+def build_csr_adjacency(
+    edge_u: np.ndarray, edge_v: np.ndarray, n_vertices: int
+) -> CSRAdjacency:
+    """Build the CSR half-edge adjacency of an indexed undirected edge set.
+
+    One stable sort of the ``2 * n_edges`` half-edges by their incident
+    vertex; the per-call ``argsort`` + ``concatenate`` the vectorized
+    backend used to pay on every propagation is paid once here and
+    shared through :class:`~repro.reachability.layout.GraphLayout`.
+    """
+    n_edges = len(edge_u)
+    incident = np.concatenate([edge_v, edge_u])
+    far_end = np.concatenate([edge_u, edge_v])
+    edge_ids = np.concatenate([np.arange(n_edges), np.arange(n_edges)])
+    order = np.argsort(incident, kind="stable")
+    indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(np.bincount(incident, minlength=n_vertices))
+    return CSRAdjacency(
+        indptr=indptr,
+        neighbors=far_end[order].astype(np.int64, copy=False),
+        edge_ids=edge_ids[order].astype(np.int64, copy=False),
+    )
 
 
 @dataclass(frozen=True, eq=False)
@@ -67,6 +143,12 @@ class SamplingProblem:
         Parallel float array with the edge existence probabilities.
     source:
         Index of the vertex reachability is measured from.
+    layout:
+        The shared :class:`~repro.reachability.layout.GraphLayout` this
+        problem is a view over, or ``None`` for standalone problems
+        built directly through :meth:`from_edges`.  Backends use it to
+        reuse the layout's precomputed CSR adjacency instead of
+        rebuilding per call.
     """
 
     vertex_ids: Tuple[VertexId, ...]
@@ -74,6 +156,40 @@ class SamplingProblem:
     edge_v: np.ndarray
     probabilities: np.ndarray
     source: int
+    layout: Optional["GraphLayout"] = field(default=None, repr=False)
+
+    def csr_adjacency(self) -> CSRAdjacency:
+        """The CSR half-edge adjacency over this problem's full edge set.
+
+        Served from the shared layout when the problem is a layout view
+        (extending the index pointer for appended extra vertices, which
+        by construction have no incident edges), built once and cached
+        on the problem otherwise.
+        """
+        cached = self.__dict__.get("_csr_cache")
+        if cached is None:
+            if self.layout is not None:
+                cached = self.layout.csr_adjacency()
+                if cached.n_vertices < self.n_vertices:
+                    indptr = np.concatenate(
+                        [
+                            cached.indptr,
+                            np.full(
+                                self.n_vertices - cached.n_vertices,
+                                cached.indptr[-1],
+                                dtype=np.int64,
+                            ),
+                        ]
+                    )
+                    cached = CSRAdjacency(
+                        indptr=indptr,
+                        neighbors=cached.neighbors,
+                        edge_ids=cached.edge_ids,
+                    )
+            else:
+                cached = build_csr_adjacency(self.edge_u, self.edge_v, self.n_vertices)
+            object.__setattr__(self, "_csr_cache", cached)
+        return cached
 
     @property
     def n_vertices(self) -> int:

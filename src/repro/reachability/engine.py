@@ -6,9 +6,14 @@ is the same computation wearing different aggregation: draw ``n``
 possible worlds, mark which vertices each world connects to a source,
 and average.  The engine factors that shared core out:
 
-1. :class:`repro.reachability.backends.base.SamplingProblem` maps the
-   (restricted) edge set and any extra vertices to contiguous integer
-   ids once;
+1. :func:`repro.reachability.layout.graph_layout` maps the (restricted)
+   edge set to contiguous integer ids **once per graph content** — the
+   digest-keyed :class:`~repro.reachability.layout.LayoutCache` shares
+   the interned :class:`~repro.reachability.layout.GraphLayout` across
+   calls, engines and threads, and
+   :meth:`~repro.reachability.layout.GraphLayout.problem` materializes
+   the per-call :class:`~repro.reachability.backends.base.SamplingProblem`
+   view (plus any extra vertices) in O(1);
 2. a pluggable :class:`~repro.reachability.backends.base.SamplingBackend`
    produces the boolean ``(n_samples, n_vertices)`` reachability matrix
    (see :mod:`repro.reachability.backends` for the registry);
@@ -24,7 +29,7 @@ harness pins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -47,6 +52,7 @@ from repro.reachability.backends.base import (
     propagate_reachability_fallback,
     sample_flips,
 )
+from repro.reachability.layout import graph_layout
 from repro.reachability.confidence import (
     flow_confidence_interval,
     proportion_interval_function,
@@ -285,9 +291,7 @@ class SamplingEngine:
         """
         if n_samples <= 0:
             raise SampleSizeError(n_samples)
-        problem = SamplingProblem.from_edges(
-            _restricted_edges(graph, edges), source, extra_vertices=extra_vertices
-        )
+        problem = graph_layout(graph, edges).problem(source, extra_vertices)
         active = self._resolve_executor(executor)
         if active is None:
             rng = ensure_rng(seed)
@@ -324,9 +328,7 @@ class SamplingEngine:
         """
         if n_samples <= 0:
             raise SampleSizeError(n_samples)
-        problem = SamplingProblem.from_edges(
-            _restricted_edges(graph, edges), source, extra_vertices=extra_vertices
-        )
+        problem = graph_layout(graph, edges).problem(source, extra_vertices)
         active = self._resolve_executor(executor)
         if active is None:
             rng = ensure_rng(seed)
@@ -359,9 +361,7 @@ class SamplingEngine:
         so the stopping point — and therefore the returned batch — is
         identical for any worker count.
         """
-        problem = SamplingProblem.from_edges(
-            _restricted_edges(graph, edges), source, extra_vertices=extra_vertices
-        )
+        problem = graph_layout(graph, edges).problem(source, extra_vertices)
         active = self._resolve_executor(executor) or _SERIAL_EXECUTOR
         size = self._resolve_shard_size(shard_size)
         plan = plan_shards(settings.max_samples, size)
@@ -664,15 +664,6 @@ def _is_auto(n_samples: SampleSpec) -> bool:
             )
         return True
     return False
-
-
-def _restricted_edges(
-    graph: UncertainGraph, edges: Optional[Iterable[Edge]]
-) -> List[Tuple[Edge, float]]:
-    """Pair each (optionally restricted) edge with its probability."""
-    if edges is None:
-        return list(graph.probabilities().items())
-    return [(edge, graph.probability(edge)) for edge in edges]
 
 
 __all__ = [

@@ -41,6 +41,7 @@ from repro._runtime_state import (
 )
 from repro.digest import combine_digests, graph_digest
 from repro.reachability.engine import WorldBatch
+from repro.reachability.layout import invalidate_graph_layouts
 
 
 @dataclass(frozen=True)
@@ -149,13 +150,19 @@ class WorldCache:
         (its current content digest is computed) or a digest previously
         obtained from :func:`repro.digest.graph_digest` — useful to
         reclaim entries for the *pre-mutation* content, since mutating a
-        graph moves its digest.  Returns the number of dropped entries.
+        graph moves its digest.  The default
+        :class:`~repro.reachability.layout.LayoutCache` is invalidated
+        for the same content in the same call, so interned graph layouts
+        are reclaimed from the one mutation path the service exposes.
+        Returns the number of dropped world batches (layout drops are
+        visible in the layout cache's own stats).
         """
         digest = (
             graph_or_digest
             if isinstance(graph_or_digest, int)
             else graph_digest(graph_or_digest)
         )
+        invalidate_graph_layouts(digest)
         with self._lock:
             members = self._by_graph.pop(digest, set())
             for entry_digest in members:

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.digest import edge_sequence_digest, graph_digest
+from repro.digest import edge_sequence_digest
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.service.cache import WorldKey, world_key_source_repr
 from repro.service.requests import PAIR_REACHABILITY, QueryRequest
@@ -107,7 +107,9 @@ class QueryPlanner:
             worlds-per-shard of the active executor — the two streams
             differ and must not share batches.
         """
-        digest = graph_digest(graph)
+        # memoized on the graph: repeated batches against one graph pay
+        # the O(V + E) content hash once, not once per plan() call
+        digest = graph.content_digest()
         groups: Dict[int, List[Tuple[int, QueryRequest]]] = {}
         keys: Dict[int, WorldKey] = {}
         payloads: Dict[int, Tuple[object, Optional[Tuple[Edge, ...]]]] = {}

@@ -19,7 +19,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.generators import erdos_renyi_graph
-from repro.reachability.backends import BACKEND_NAMES
+from repro.reachability.backends import BACKEND_NAMES, make_backend
+from repro.reachability.backends.csr import CSRSamplingBackend, numba_unavailable_reason
 from repro.reachability.engine import SamplingEngine
 from repro.reachability.exact import (
     exact_expected_flow,
@@ -160,6 +161,67 @@ def test_component_reachability_matches_enumeration(backend, graph, seed):
         truth = exact.get(vertex, 0.0)
         standard_error = (truth * (1.0 - truth) / 1500) ** 0.5
         assert probability == pytest.approx(truth, abs=SIGMA * standard_error + FLOOR)
+
+
+# ----------------------------------------------------------------------
+# csr backend: the propagate primitive (including the CRN incremental
+# path via base_reached) is pinned bit-for-bit against the naive BFS
+# ----------------------------------------------------------------------
+NUMBA_REASON = numba_unavailable_reason()
+
+
+def _csr_propagate_against_naive(csr_backend, graph, seed, split):
+    """Shared body: closure + incremental closure must equal the BFS reference."""
+    batch = SamplingEngine("naive").sample_flips(graph, _query(graph), 32, seed=seed)
+    problem, flips = batch.problem, batch.flips
+    naive = make_backend("naive")
+    n_edges = problem.n_edges
+    base_indices = np.arange(split % (n_edges + 1))
+    base_naive = naive.propagate_reachability(problem, flips, base_indices)
+    base_csr = csr_backend.propagate_reachability(problem, flips, base_indices)
+    assert np.array_equal(base_naive, base_csr)
+
+    all_edges = np.arange(n_edges)
+    incremental_naive = naive.propagate_reachability(
+        problem, flips, all_edges, base_reached=base_naive
+    )
+    incremental_csr = csr_backend.propagate_reachability(
+        problem, flips, all_edges, base_reached=base_csr
+    )
+    assert np.array_equal(incremental_naive, incremental_csr)
+    # the incremental answer equals the from-scratch closure (monotonicity)
+    assert np.array_equal(
+        incremental_csr, csr_backend.propagate_reachability(problem, flips, all_edges)
+    )
+
+
+@settings(**PROPERTY_SETTINGS)
+@given(
+    graph=small_graphs,
+    seed=st.integers(min_value=0, max_value=10_000),
+    split=st.integers(min_value=0, max_value=100),
+)
+def test_csr_numpy_propagate_matches_naive_including_base_reached(graph, seed, split):
+    _csr_propagate_against_naive(CSRSamplingBackend(use_numba=False), graph, seed, split)
+
+
+@pytest.mark.skipif(NUMBA_REASON is not None, reason=NUMBA_REASON or "numba available")
+@settings(**PROPERTY_SETTINGS)
+@given(
+    graph=small_graphs,
+    seed=st.integers(min_value=0, max_value=10_000),
+    split=st.integers(min_value=0, max_value=100),
+)
+def test_csr_numba_propagate_matches_naive_including_base_reached(graph, seed, split):
+    backend = CSRSamplingBackend(use_numba=True)
+    assert backend.numba_active
+    _csr_propagate_against_naive(backend, graph, seed, split)
+
+
+@pytest.mark.skipif(NUMBA_REASON is None, reason="numba is importable here")
+def test_forcing_the_numba_kernel_without_numba_raises():
+    with pytest.raises(RuntimeError, match="numba"):
+        CSRSamplingBackend(use_numba=True)
 
 
 # ----------------------------------------------------------------------
