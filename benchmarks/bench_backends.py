@@ -107,6 +107,32 @@ def run(sizes, n_samples: int) -> List[dict]:
     return rows
 
 
+def measure_telemetry_overhead(sizes, n_samples: int) -> dict:
+    """Time the csr backend with telemetry off (the default) and on.
+
+    The disabled path is the guard-and-return fast path every hot call
+    site takes — it must cost nothing measurable (the repo's acceptance
+    bar keeps the default-path timings within noise of the pre-telemetry
+    baseline).  The enabled number shows what a metrics-only pipeline
+    costs when actually switched on.
+    """
+    import repro
+
+    size = max(sizes)
+    graph = erdos_renyi_graph(size, average_degree=6.0, seed=size)
+    disabled_seconds, _ = time_backend(graph, 0, "csr", n_samples)
+    with repro.session(telemetry=True):
+        enabled_seconds, _ = time_backend(graph, 0, "csr", n_samples)
+    return {
+        "backend": "csr",
+        "n_vertices": graph.n_vertices,
+        "n_samples": n_samples,
+        "disabled_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "overhead_ratio": enabled_seconds / disabled_seconds,
+    }
+
+
 def check_gates(rows: List[dict]) -> List[dict]:
     """Evaluate the acceptance gates; return PASS/FAIL/SKIPPED records."""
     gates: List[dict] = []
@@ -199,6 +225,14 @@ def main(argv=None) -> int:
             + f" {row['expected_flow']:>10.3f}"
         )
 
+    overhead = measure_telemetry_overhead(sizes, n_samples)
+    print(
+        f"\ntelemetry (csr, |V|={overhead['n_vertices']}, {n_samples} samples): "
+        f"disabled {overhead['disabled_seconds']:.4f}s, "
+        f"enabled {overhead['enabled_seconds']:.4f}s "
+        f"({overhead['overhead_ratio'] - 1.0:+.1%} when switched on)"
+    )
+
     gates = check_gates(rows) if not args.quick else []
     for gate in gates:
         if gate["status"] == "SKIPPED":
@@ -217,6 +251,7 @@ def main(argv=None) -> int:
             "numba_unavailable_reason": numba_unavailable_reason(),
             "environment": bench_environment(),
             "rows": rows,
+            "telemetry_overhead": overhead,
             "gates": gates,
         }
         args.json.parent.mkdir(parents=True, exist_ok=True)

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Compare a fresh ``bench_backends.py --json`` report against a baseline.
+"""Compare a fresh benchmark ``--json`` report against a baseline.
 
 CI runs the backend benchmark on every push and diffs the dimensionless
 speedup ratios (``*_speedup``, ``csr_vs_vectorized``, ...) against the
-checked-in ``BENCH_backends.json``.  Ratios rather than raw seconds are
-compared because CI machines differ from the machine the baseline was
-recorded on — a slower runner scales every backend equally, but a real
-regression moves one backend relative to the others.
+checked-in ``BENCH_backends.json``; the server-smoke job does the same
+for ``bench_server.py``'s ``throughput_ratio`` against
+``BENCH_server.json``.  Ratios rather than raw seconds are compared
+because CI machines differ from the machine the baseline was recorded
+on — a slower runner scales every backend equally, but a real
+regression moves one side relative to the other.
 
 A fresh ratio below ``(1 - tolerance)`` of the baseline ratio fails the
 check (default tolerance 25%).  Rows are matched on
@@ -18,6 +20,8 @@ legs::
 
     PYTHONPATH=src python benchmarks/bench_backends.py --quick --json fresh.json
     python benchmarks/check_regression.py benchmarks/BENCH_backends.json fresh.json
+    PYTHONPATH=src python benchmarks/bench_server.py --quick --json fresh-server.json
+    python benchmarks/check_regression.py benchmarks/BENCH_server.json fresh-server.json
 """
 
 from __future__ import annotations
@@ -30,8 +34,9 @@ from typing import Dict, List, Tuple
 
 DEFAULT_TOLERANCE = 0.25
 
-#: Only dimensionless ratio fields participate in the diff.
-RATIO_SUFFIXES = ("_speedup", "_vs_vectorized")
+#: Only dimensionless ratio fields participate in the diff
+#: (``_ratio`` covers bench_server's served-vs-naive throughput ratio).
+RATIO_SUFFIXES = ("_speedup", "_vs_vectorized", "_ratio")
 
 
 def ratio_fields(row: dict) -> Dict[str, float]:
@@ -78,7 +83,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> List[str]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=Path, help="checked-in BENCH_backends.json")
+    parser.add_argument("baseline", type=Path, help="checked-in baseline JSON")
     parser.add_argument("fresh", type=Path, help="report from this run's --json")
     parser.add_argument(
         "--tolerance",
@@ -96,7 +101,7 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"no backend speedup regression vs {args.baseline} (tolerance {args.tolerance:.0%})")
+    print(f"no ratio regression vs {args.baseline} (tolerance {args.tolerance:.0%})")
     return 0
 
 

@@ -110,6 +110,24 @@ def main() -> None:
         f"{settings.max_samples} allowed worlds."
     )
 
+    # 5. telemetry: the same knob resolution enables the unified
+    #    observability layer for one scope — spans trace where the time
+    #    went, counters tell how much work each layer did.  Telemetry is
+    #    off by default and costs nothing when off; switching it on never
+    #    changes a result.
+    from repro.telemetry import InMemoryExporter, Telemetry, format_span_tree
+
+    memory = InMemoryExporter()
+    tel = Telemetry(exporters=[memory])
+    with repro.session(telemetry=tel, seed=7) as s:
+        s.expected_flow(graph, query, n_samples=800)
+    counters = tel.snapshot()["counters"]
+    print(
+        f"\nTelemetry: {counters.get('engine.worlds_sampled', 0)} worlds sampled in "
+        f"{counters.get('engine.sample_calls', 0)} engine call(s); span tree:"
+    )
+    print(format_span_tree(memory.spans[-1]))
+
 
 if __name__ == "__main__":
     main()

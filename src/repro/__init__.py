@@ -45,9 +45,15 @@ The package is organised as:
   cache) and a contextvar-scoped :class:`~repro.runtime.Session` facade
   (``with repro.session(...):``) that replaces the five legacy
   process-wide ``set_default_*`` globals;
+* :mod:`repro.telemetry` — the unified observability layer: a
+  thread-safe metrics registry plus nested tracing spans, resolved like
+  every other runtime knob and instrumented through engine, executor,
+  caches, service and server (disabled by default at zero cost);
 * :mod:`repro.experiments` — the harness that regenerates every figure
   of the evaluation section.
 """
+
+import logging as _logging
 
 from repro.types import Edge, VertexId
 from repro.graph import (
@@ -91,8 +97,18 @@ from repro.selection import (
     ALGORITHM_NAMES,
     SelectionResult,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    current_telemetry,
+    traced,
+)
 from repro import runtime
 from repro.runtime import RuntimeConfig, Session, current_config, session
+
+# library convention: the embedding application decides where log records
+# go; without a configured handler the repro tree stays silent
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 
@@ -135,6 +151,10 @@ __all__ = [
     "make_selector",
     "ALGORITHM_NAMES",
     "SelectionResult",
+    "MetricsRegistry",
+    "Telemetry",
+    "current_telemetry",
+    "traced",
     "runtime",
     "RuntimeConfig",
     "Session",

@@ -52,7 +52,7 @@ class RuntimeDefaults:
     the legacy globals behaved for out-of-band assignments.
     """
 
-    __slots__ = ("backend", "crn", "executor", "shard_size", "world_cache")
+    __slots__ = ("backend", "crn", "executor", "shard_size", "world_cache", "telemetry")
 
     def __init__(self) -> None:
         self.reset()
@@ -68,6 +68,7 @@ class RuntimeDefaults:
         self.executor: Optional[object] = None
         self.shard_size: Optional[int] = None
         self.world_cache: Optional[object] = None
+        self.telemetry: Optional[object] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         fields = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.__slots__)
@@ -127,11 +128,13 @@ class EffectiveConfig:
     activation; fields the whole session chain leaves unset stay
     :data:`UNSET` and resolution falls through to :data:`defaults`.
     ``executor`` and ``world_cache`` hold *resolved* objects (or ``None``
-    for "explicitly unsharded"/"caching disabled"), never raw specs.
-    The first five fields are the ambient knobs the library-wide
-    ``get_default_*`` resolution points consult; ``n_samples``,
-    ``adaptive`` and ``seed`` are the call-policy fields only Session
-    methods read — carried here so nested sessions inherit them too.
+    for "explicitly unsharded"/"caching disabled"), never raw specs, and
+    ``telemetry`` holds a resolved ``repro.telemetry.Telemetry`` pipeline
+    (the disabled singleton when a session pins telemetry off).
+    The ambient knobs are what the library-wide ``get_default_*``
+    resolution points consult; ``n_samples``, ``adaptive`` and ``seed``
+    are the call-policy fields only Session methods read — carried here
+    so nested sessions inherit them too.
     """
 
     __slots__ = (
@@ -140,6 +143,7 @@ class EffectiveConfig:
         "executor",
         "shard_size",
         "world_cache",
+        "telemetry",
         "n_samples",
         "adaptive",
         "seed",
@@ -152,6 +156,7 @@ class EffectiveConfig:
         executor: Any = UNSET,
         shard_size: Any = UNSET,
         world_cache: Any = UNSET,
+        telemetry: Any = UNSET,
         n_samples: Any = UNSET,
         adaptive: Any = UNSET,
         seed: Any = UNSET,
@@ -161,6 +166,7 @@ class EffectiveConfig:
         self.executor = executor
         self.shard_size = shard_size
         self.world_cache = world_cache
+        self.telemetry = telemetry
         self.n_samples = n_samples
         self.adaptive = adaptive
         self.seed = seed

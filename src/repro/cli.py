@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the common workflows::
+Eight subcommands cover the common workflows::
 
     repro-flow generate --dataset erdos --size 500 --out graph.json
     repro-flow select   --graph graph.json --query 0 --budget 20 --algorithm FT+M
@@ -8,6 +8,7 @@ Seven subcommands cover the common workflows::
     repro-flow batch    --graph graph.json --requests queries.jsonl --out results.jsonl
     repro-flow serve    --graph graph.json --port 7421
     repro-flow backends
+    repro-flow telemetry --graph graph.json
     repro-flow experiment --figure 7b
 
 (``python -m repro.cli`` works identically when the console script is
@@ -27,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -84,6 +86,82 @@ def add_runtime_flags(
         help="world-cache entry bound for service-backed evaluation "
              "(0 disables caching; default: %(default)s)",
     )
+    group.add_argument(
+        "--trace", action="store_true",
+        help="run with telemetry enabled and print the span tree and "
+             "metrics registry to stderr when the command finishes",
+    )
+    group.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="additionally write every finished span to this JSONL file "
+             "(implies --trace)",
+    )
+
+
+def _build_trace_telemetry(args: argparse.Namespace):
+    """Build the ``--trace``/``--trace-out`` pipeline for a command.
+
+    Returns ``(telemetry, memory_exporter)`` — both ``None`` when tracing
+    was not requested.  The in-memory exporter is what
+    :func:`_emit_trace_report` renders after the session closes.
+    """
+    trace = getattr(args, "trace", False)
+    trace_out = getattr(args, "trace_out", None)
+    if not trace and trace_out is None:
+        return None, None
+    from repro.telemetry import InMemoryExporter, JSONLExporter, Telemetry
+
+    memory = InMemoryExporter()
+    exporters: List[object] = [memory]
+    if trace_out is not None:
+        exporters.append(JSONLExporter(trace_out))
+    return Telemetry(exporters=exporters), memory
+
+
+def _format_registry(snapshot: dict) -> List[str]:
+    """Render a registry snapshot as aligned ``name value`` lines."""
+    lines: List[str] = []
+    for kind in ("counters", "gauges"):
+        section = snapshot.get(kind, {})
+        if section:
+            lines.append(f"{kind}:")
+            width = max(len(name) for name in section)
+            for name, value in section.items():
+                lines.append(f"  {name:<{width}}  {value}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name, summary in histograms.items():
+            lines.append(
+                f"  {name:<{width}}  count={summary['count']} "
+                f"sum={summary['sum']:.6g} min={summary['min']:.6g} "
+                f"max={summary['max']:.6g}"
+            )
+    return lines
+
+
+def _emit_trace_report(args: argparse.Namespace, stream=None) -> None:
+    """Print the span tree(s) and registry of a traced command run."""
+    telemetry, memory = getattr(args, "trace_state", (None, None))
+    if telemetry is None:
+        return
+    from repro.telemetry import format_span_tree
+
+    telemetry.close()  # flush the JSONL file before reporting
+    out = stream if stream is not None else sys.stderr
+    registry_lines = _format_registry(telemetry.snapshot())
+    if not memory.spans and not registry_lines:
+        # e.g. an F-tree selection whose components were all enumerated
+        # exactly: nothing sampled, nothing to report
+        print("trace: no instrumented work was recorded", file=out)
+    for root in memory.spans:
+        print(format_span_tree(root), file=out)
+    for line in registry_lines:
+        print(line, file=out)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        print(f"span trace written to {trace_out}", file=out)
 
 
 def runtime_config_from_args(
@@ -99,6 +177,8 @@ def runtime_config_from_args(
     # historically invalid flag value loudly
     if args.workers is not None and args.workers <= 0:
         raise SystemExit(f"--workers must be positive, got {args.workers}")
+    telemetry, memory = _build_trace_telemetry(args)
+    args.trace_state = (telemetry, memory)
     try:
         return RuntimeConfig(
             backend=args.backend,
@@ -108,6 +188,7 @@ def runtime_config_from_args(
             n_samples=n_samples,
             seed=seed,
             world_cache=args.cache_size,
+            telemetry=telemetry,
         )
     except (TypeError, ValueError) as error:
         raise SystemExit(str(error)) from error
@@ -118,6 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-flow",
         description="Information flow maximization in probabilistic graphs (F-tree reproduction)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable INFO-level logging (-vv for DEBUG); goes before the subcommand",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -201,6 +286,28 @@ def build_parser() -> argparse.ArgumentParser:
              "(and why an optional backend is unavailable)",
     )
 
+    telemetry_cmd = subparsers.add_parser(
+        "telemetry",
+        help="run a query workload with tracing forced on and dump the "
+             "span tree plus the metrics registry",
+    )
+    telemetry_cmd.add_argument("--graph", type=Path, required=True,
+                               help="graph JSON produced by 'generate'")
+    telemetry_cmd.add_argument(
+        "--requests", type=Path, default=None,
+        help="JSONL request file to run (default: a synthesized mixed "
+             "workload over the graph)",
+    )
+    telemetry_cmd.add_argument("--samples", type=int, default=500,
+                               help="default sample count for requests that do not set one")
+    telemetry_cmd.add_argument("--seed", type=int, default=0,
+                               help="default seed for requests that do not set one")
+    telemetry_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document (spans + metrics) instead of text",
+    )
+    add_runtime_flags(telemetry_cmd, cache_size_default=64)
+
     experiment = subparsers.add_parser("experiment", help="reproduce one of the paper's figures")
     experiment.add_argument(
         "--figure", choices=sorted(ALL_FIGURES) + ["all"], required=True,
@@ -262,6 +369,7 @@ def _command_select(args: argparse.Namespace) -> int:
         lines = [f"{edge.u} {edge.v}" for edge in result.selected_edges]
         args.out.write_text("\n".join(lines) + "\n", encoding="utf-8")
         print(f"selected edges written to {args.out}")
+    _emit_trace_report(args)
     return 0
 
 
@@ -301,6 +409,7 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     print(f"query vertex  : {query}")
     print(f"edges         : {len(edges)}")
     print(f"expected flow : {flow:.4f}")
+    _emit_trace_report(args)
     return 0
 
 
@@ -361,6 +470,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         )
     if args.out is not None:
         print(f"results written to {args.out}", file=summary)
+    _emit_trace_report(args)
     return 0
 
 
@@ -399,6 +509,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         return asyncio.run(_serve_until_signalled(graph, server_config))
     except KeyboardInterrupt:  # pragma: no cover - interactive abort fallback
         return 0
+    finally:
+        _emit_trace_report(args)
 
 
 async def _serve_until_signalled(graph, server_config) -> int:
@@ -467,6 +579,89 @@ def _command_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _synthesize_requests(graph, n_samples: int, seed: int):
+    """A small deterministic mixed workload for ``repro-flow telemetry``.
+
+    One expected-flow query at the natural query vertex, pair queries
+    toward a few other vertices (sharing that batch via the planner),
+    and one component query — enough to light up every layer.
+    """
+    from repro.service.requests import QueryRequest
+
+    source = pick_query_vertex(graph)
+    others = [vertex for vertex in graph.vertices() if vertex != source][:3]
+    requests = [
+        QueryRequest(kind="expected_flow", source=source, n_samples=n_samples, seed=seed)
+    ]
+    for target in others:
+        requests.append(
+            QueryRequest(
+                kind="pair_reachability", source=source, target=target,
+                n_samples=n_samples, seed=seed,
+            )
+        )
+    if others:
+        members = {source, *others}
+        component_edges = tuple(
+            edge for edge in graph.edges() if edge.u in members and edge.v in members
+        )
+        if component_edges:
+            requests.append(
+                QueryRequest(
+                    kind="component_reachability", source=source,
+                    targets=tuple(others), edges=component_edges,
+                    n_samples=n_samples, seed=seed,
+                )
+            )
+    return requests
+
+
+def _command_telemetry(args: argparse.Namespace) -> int:
+    # tracing is the whole point of this subcommand — force it on so the
+    # shared flag group needs no extra --trace
+    args.trace = True
+    config = runtime_config_from_args(args)
+    if args.samples <= 0:
+        raise SystemExit(f"--samples must be positive, got {args.samples}")
+    graph = read_json(args.graph)
+    if args.requests is not None:
+        requests = _read_request_file(args.requests, graph, args.samples, args.seed)
+    else:
+        requests = _synthesize_requests(graph, args.samples, args.seed)
+    telemetry, memory = args.trace_state
+    with runtime_session(config) as session:
+        # one root span over the whole workload, so the per-layer times
+        # underneath it visibly sum to (approximately) the wall time
+        with telemetry.span(
+            "cli.telemetry", graph=graph.name or "graph", n_requests=len(requests)
+        ):
+            try:
+                session.batch(graph, requests)
+            except ReproError as error:
+                raise SystemExit(f"telemetry workload failed: {error}") from error
+    telemetry.close()
+    if args.json:
+        document = {
+            "spans": [root.to_dict() for root in memory.spans],
+            "metrics": telemetry.snapshot(),
+        }
+        print(json.dumps(document, indent=2, default=repr))
+        return 0
+    from repro.telemetry import format_span_tree
+
+    print(f"workload: {len(requests)} requests against {args.graph}")
+    print()
+    for root in memory.spans:
+        print(format_span_tree(root))
+    print()
+    for line in _format_registry(telemetry.snapshot()):
+        print(line)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        print(f"span trace written to {trace_out}")
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     # validate before opening the session, so a bad value cannot build
     # (or leak) a worker pool
@@ -477,7 +672,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
     # configuration resolves backend/crn/executor/shard-size from it, and
     # an owned pool is released on exit even when a figure raises
     with runtime_session(config):
-        return _run_experiment(args)
+        status = _run_experiment(args)
+    _emit_trace_report(args)
+    return status
 
 
 def _run_experiment(args: argparse.Namespace) -> int:
@@ -506,10 +703,23 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_logging(verbosity: int) -> None:
+    """Wire ``-v``/``-vv`` to stdlib logging for the repro tree."""
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
     handlers = {
         "generate": _command_generate,
         "select": _command_select,
@@ -517,6 +727,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "batch": _command_batch,
         "serve": _command_serve,
         "backends": _command_backends,
+        "telemetry": _command_telemetry,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

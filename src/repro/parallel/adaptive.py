@@ -20,10 +20,13 @@ identical for any worker count, just like fixed-budget ones.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.parallel.plan import plan_shards
+
+logger = logging.getLogger(__name__)
 
 #: Interval methods accepted by :class:`AdaptiveSettings`.
 ADAPTIVE_CI_METHODS = ("wilson", "normal")
@@ -90,6 +93,13 @@ def shard_rounds(settings: AdaptiveSettings, shard_size: int) -> Iterator[int]:
     what keeps adaptive stopping worker-invariant.
     """
     total_shards = plan_shards(settings.max_samples, shard_size).n_shards
+    if logger.isEnabledFor(logging.DEBUG):
+        logger.debug(
+            "adaptive schedule: %d shard(s) of %d world(s) toward the %d-sample cap",
+            total_shards,
+            shard_size,
+            settings.max_samples,
+        )
     drawn = 0
     round_shards = 1
     while drawn < total_shards:

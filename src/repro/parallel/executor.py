@@ -17,11 +17,13 @@ against the serial reference by the worker-count invariance tests.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +36,9 @@ from repro._runtime_state import (
 )
 from repro.exceptions import WorkerCrashedError
 from repro.reachability.backends.base import SamplingProblem, sample_flips
+from repro.telemetry import current_telemetry
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,23 @@ def run_shard(task: ShardTask) -> np.ndarray:
     return task.backend.sample_reachability(task.problem, task.n_samples, rng)
 
 
+def _timed_run_shard(task: ShardTask) -> Tuple[float, np.ndarray]:
+    """:func:`run_shard` plus its in-worker runtime (telemetry-enabled path).
+
+    The duration is measured inside the worker process, so the parent
+    can split a shard's round-trip into true runtime versus queue wait +
+    transfer.  The array is byte-identical to :func:`run_shard`'s.
+    """
+    started = time.perf_counter()
+    result = run_shard(task)
+    return time.perf_counter() - started, result
+
+
+def _note_done_time(future) -> None:
+    """Done-callback stamping a future's completion time (collector thread)."""
+    future._repro_done_at = time.perf_counter()
+
+
 class SamplingExecutor(ABC):
     """Runs shard tasks and returns their results in shard order."""
 
@@ -109,7 +131,17 @@ class SerialExecutor(SamplingExecutor):
         return "<SerialExecutor>"
 
     def map_shards(self, tasks: Sequence[ShardTask]) -> List[np.ndarray]:
-        return [run_shard(task) for task in tasks]
+        tel = current_telemetry()
+        if not tel.enabled:
+            return [run_shard(task) for task in tasks]
+        results: List[np.ndarray] = []
+        with tel.span("executor.map_shards", executor="serial", n_shards=len(tasks)):
+            for task in tasks:
+                started = time.perf_counter()
+                results.append(run_shard(task))
+                tel.observe("executor.shard_seconds", time.perf_counter() - started)
+        tel.count("executor.shards_run", len(tasks))
+        return results
 
 
 class ProcessExecutor(SamplingExecutor):
@@ -160,6 +192,10 @@ class ProcessExecutor(SamplingExecutor):
                     max_workers=self.workers, mp_context=context
                 )
                 self.closed = False
+                logger.debug("built process pool with %d workers", self.workers)
+                tel = current_telemetry()
+                if tel.enabled:
+                    tel.count("executor.pool_builds")
             return self._pool
 
     def map_shards(self, tasks: Sequence[ShardTask]) -> List[np.ndarray]:
@@ -168,16 +204,64 @@ class ProcessExecutor(SamplingExecutor):
             return []
         from concurrent.futures.process import BrokenProcessPool
 
+        tel = current_telemetry()
         pool = self._ensure_pool()
         try:
-            return list(pool.map(run_shard, tasks, chunksize=1))
+            if not tel.enabled:
+                return list(pool.map(run_shard, tasks, chunksize=1))
+            return self._map_shards_timed(pool, tasks, tel)
         except BrokenProcessPool as error:
             # a worker died mid-batch (OOM kill, SIGKILL, hard crash);
             # the pool is permanently unusable — discard it so the next
             # call rebuilds instead of failing forever, and surface a
             # typed, actionable error instead of the opaque stdlib one
             self._discard_pool(pool)
+            if tel.enabled:
+                tel.count("executor.worker_crashes")
+            logger.warning(
+                "worker process crashed mid-batch (pool of %d workers): %s — "
+                "pool discarded, the next call rebuilds it",
+                self.workers,
+                str(error) or "no detail",
+            )
             raise WorkerCrashedError(self.workers, detail=str(error) or "") from error
+
+    def _map_shards_timed(self, pool, tasks: Sequence[ShardTask], tel) -> List[np.ndarray]:
+        """The telemetry-enabled fan-out: same shards, same order, timed.
+
+        Shards are submitted and collected in task order (exactly the
+        reduction of ``pool.map``), but each runs through
+        :func:`_timed_run_shard` so the in-worker runtime comes back with
+        the result; the difference between a future's submit→done
+        interval and that runtime is the shard's queue wait (+ transfer).
+        Results are byte-identical to the un-instrumented path.
+        """
+        with tel.span(
+            "executor.map_shards",
+            executor="process",
+            workers=self.workers,
+            n_shards=len(tasks),
+        ):
+            submits = []
+            futures = []
+            for task in tasks:
+                submits.append(time.perf_counter())
+                future = pool.submit(_timed_run_shard, task)
+                future.add_done_callback(_note_done_time)
+                futures.append(future)
+            results: List[np.ndarray] = []
+            for submitted, future in zip(submits, futures):
+                runtime, part = future.result()
+                tel.observe("executor.shard_seconds", runtime)
+                done_at = getattr(future, "_repro_done_at", None)
+                if done_at is not None:
+                    tel.observe(
+                        "executor.queue_wait_seconds",
+                        max(0.0, (done_at - submitted) - runtime),
+                    )
+                results.append(part)
+        tel.count("executor.shards_run", len(tasks))
+        return results
 
     def _discard_pool(self, pool) -> None:
         """Drop a broken pool without blocking on its wedged workers."""

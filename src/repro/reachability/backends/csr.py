@@ -42,6 +42,7 @@ from repro.reachability.backends.base import (
     SamplingProblem,
     chunked_sample_reachability,
 )
+from repro.telemetry import current_telemetry
 
 #: Per-draw block ceiling (module attribute so tests can force tiny chunks).
 _MAX_BLOCK_ELEMENTS = MAX_FLIP_BLOCK_ELEMENTS
@@ -235,6 +236,8 @@ class CSRSamplingBackend:
         pull_vertices, pull_offsets = csr.pull_groups()
         half_edges = len(neighbors)
         arange = np.arange
+        dense_rounds = 0
+        sparse_rounds = 0
         while frontier.size:
             touched = int((indptr[frontier + 1] - indptr[frontier]).sum())
             if touched == 0:
@@ -242,6 +245,7 @@ class CSRSamplingBackend:
             if 2 * touched >= half_edges:
                 # dense round: one full pull sweep over the precomputed
                 # group structure (every non-empty CSR row at once)
+                dense_rounds += 1
                 targets, offsets = pull_vertices, pull_offsets
                 carried = bits[neighbors] & alive
             else:
@@ -249,6 +253,7 @@ class CSRSamplingBackend:
                 # A target is by construction someone's neighbour, so
                 # its CSR row is non-empty and the reduceat offsets
                 # stay strictly increasing.
+                sparse_rounds += 1
                 starts = indptr[frontier]
                 counts = indptr[frontier + 1] - starts
                 keep = counts > 0
@@ -276,6 +281,17 @@ class CSRSamplingBackend:
                 break
             bits[targets] = updated
             frontier = targets[changed]
+
+        # round-mix accounting: two plain ints during the loop, one
+        # ambient lookup after it — nothing is paid per round, and the
+        # disabled path costs a single attribute check.  Note shards run
+        # in worker *processes* report into that process's (invisible)
+        # pipeline; the counters reflect in-process propagation only.
+        tel = current_telemetry()
+        if tel.enabled:
+            tel.count("backend.csr.dense_rounds", dense_rounds)
+            tel.count("backend.csr.sparse_rounds", sparse_rounds)
+            tel.count("backend.csr.propagate_calls")
 
         return np.unpackbits(bits8[:, :n_bytes], axis=1, count=n_samples).T.astype(bool)
 

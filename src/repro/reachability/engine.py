@@ -59,6 +59,7 @@ from repro.reachability.confidence import (
 )
 from repro.reachability.estimators import FlowEstimate, ReachabilityEstimate
 from repro.rng import SeedLike, ensure_rng, split_seed_sequences
+from repro.telemetry import current_telemetry
 from repro.types import Edge, VertexId
 
 #: Sample-count specification: a positive integer budget, or
@@ -293,14 +294,35 @@ class SamplingEngine:
             raise SampleSizeError(n_samples)
         problem = graph_layout(graph, edges).problem(source, extra_vertices)
         active = self._resolve_executor(executor)
+        tel = current_telemetry()
+        if tel.enabled:
+            with tel.span(
+                "engine.sample_worlds",
+                backend=self.backend.name,
+                n_samples=int(n_samples),
+                sharded=active is not None,
+            ):
+                reached = self._draw_worlds(problem, n_samples, seed, active, shard_size)
+            tel.count("engine.sample_calls")
+            tel.count("engine.worlds_sampled", int(n_samples))
+        else:
+            reached = self._draw_worlds(problem, n_samples, seed, active, shard_size)
+        return WorldBatch(problem=problem, reached=reached)
+
+    def _draw_worlds(
+        self,
+        problem: SamplingProblem,
+        n_samples: int,
+        seed: SeedLike,
+        active: Optional[SamplingExecutor],
+        shard_size: Optional[int],
+    ) -> np.ndarray:
         if active is None:
             rng = ensure_rng(seed)
-            reached = self.backend.sample_reachability(problem, int(n_samples), rng)
-        else:
-            reached = self._run_sharded(
-                problem, int(n_samples), seed, active, shard_size, self.backend
-            )
-        return WorldBatch(problem=problem, reached=reached)
+            return self.backend.sample_reachability(problem, int(n_samples), rng)
+        return self._run_sharded(
+            problem, int(n_samples), seed, active, shard_size, self.backend
+        )
 
     # ------------------------------------------------------------------
     # flip-matrix / delta-propagation primitives (CRN candidate scoring)
@@ -330,14 +352,34 @@ class SamplingEngine:
             raise SampleSizeError(n_samples)
         problem = graph_layout(graph, edges).problem(source, extra_vertices)
         active = self._resolve_executor(executor)
+        tel = current_telemetry()
+        if tel.enabled:
+            with tel.span(
+                "engine.sample_flips",
+                n_samples=int(n_samples),
+                sharded=active is not None,
+            ):
+                flips = self._draw_flips(problem, n_samples, seed, active, shard_size)
+            tel.count("engine.flip_calls")
+            tel.count("engine.worlds_sampled", int(n_samples))
+        else:
+            flips = self._draw_flips(problem, n_samples, seed, active, shard_size)
+        return FlipBatch(problem=problem, flips=flips)
+
+    def _draw_flips(
+        self,
+        problem: SamplingProblem,
+        n_samples: int,
+        seed: SeedLike,
+        active: Optional[SamplingExecutor],
+        shard_size: Optional[int],
+    ) -> np.ndarray:
         if active is None:
             rng = ensure_rng(seed)
-            flips = sample_flips(problem, int(n_samples), rng)
-        else:
-            flips = self._run_sharded(
-                problem, int(n_samples), seed, active, shard_size, backend=None
-            )
-        return FlipBatch(problem=problem, flips=flips)
+            return sample_flips(problem, int(n_samples), rng)
+        return self._run_sharded(
+            problem, int(n_samples), seed, active, shard_size, backend=None
+        )
 
     # ------------------------------------------------------------------
     # adaptive (CI-driven) sampling
@@ -366,13 +408,44 @@ class SamplingEngine:
         size = self._resolve_shard_size(shard_size)
         plan = plan_shards(settings.max_samples, size)
         children = split_seed_sequences(seed, plan.n_shards)
-        shard_sizes = plan.shard_sizes
 
+        tel = current_telemetry()
+        if not tel.enabled:
+            return self._adaptive_loop(
+                problem, active, size, plan.shard_sizes, children, settings, width_of
+            )[0]
+        with tel.span(
+            "engine.sample_worlds_adaptive",
+            backend=self.backend.name,
+            max_samples=settings.max_samples,
+            shard_size=size,
+        ) as span:
+            batch, rounds = self._adaptive_loop(
+                problem, active, size, plan.shard_sizes, children, settings, width_of
+            )
+            span.set(n_samples=batch.n_samples, rounds=rounds)
+        tel.count("engine.adaptive.rounds", rounds)
+        tel.count("engine.worlds_sampled", batch.n_samples)
+        tel.count("engine.sample_calls")
+        return batch
+
+    def _adaptive_loop(
+        self,
+        problem: SamplingProblem,
+        active: SamplingExecutor,
+        size: int,
+        shard_sizes,
+        children,
+        settings: AdaptiveSettings,
+        width_of: Callable[[SamplingProblem, np.ndarray, int], float],
+    ):
         blocks: List[np.ndarray] = []
         counts = np.zeros(problem.n_vertices, dtype=np.int64)
         drawn_shards = 0
         drawn_samples = 0
+        rounds = 0
         for round_shards in shard_rounds(settings, size):
+            rounds += 1
             tasks = [
                 ShardTask(
                     problem=problem,
@@ -396,7 +469,7 @@ class SamplingEngine:
             if blocks
             else np.zeros((0, problem.n_vertices), dtype=bool)
         )
-        return WorldBatch(problem=problem, reached=reached)
+        return WorldBatch(problem=problem, reached=reached), rounds
 
     def propagate(
         self,

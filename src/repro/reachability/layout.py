@@ -31,6 +31,7 @@ same mutation path.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -44,7 +45,10 @@ from repro.reachability.backends.base import (
     SamplingProblem,
     build_csr_adjacency,
 )
+from repro.telemetry import current_telemetry
 from repro.types import Edge, VertexId
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, eq=False)
@@ -233,6 +237,10 @@ class LayoutCache:
             f"/{self.max_entries} hits={self.hits} misses={self.misses}>"
         )
 
+    #: registry namespace the stats are re-emitted under (the world cache
+    #: uses ``cache.world`` — see :mod:`repro.service.cache`)
+    _metric_prefix = "cache.layout"
+
     # ------------------------------------------------------------------
     def get(self, key: LayoutKey) -> Optional[GraphLayout]:
         """Return the cached layout for ``key`` (counting a hit or miss)."""
@@ -240,14 +248,18 @@ class LayoutCache:
             entry = self._entries.get(key.digest)
             if entry is None:
                 self.misses += 1
-                return None
-            self.hits += 1
-            self._entries.move_to_end(key.digest)
-            return entry[1]
+            else:
+                self.hits += 1
+                self._entries.move_to_end(key.digest)
+        tel = current_telemetry()
+        if tel.enabled:
+            tel.count(f"{self._metric_prefix}.{'misses' if entry is None else 'hits'}")
+        return None if entry is None else entry[1]
 
     def put(self, key: LayoutKey, layout: GraphLayout) -> None:
         """Store ``layout`` under ``key``, evicting the LRU entry if needed."""
         digest = key.digest
+        evicted = False
         with self._lock:
             self._entries[digest] = (key, layout)
             self._entries.move_to_end(digest)
@@ -256,6 +268,14 @@ class LayoutCache:
                 evicted_digest, (evicted_key, _) = self._entries.popitem(last=False)
                 self._drop_graph_index(evicted_key.graph_digest, evicted_digest)
                 self.evictions += 1
+                evicted = True
+            entries = len(self._entries)
+        tel = current_telemetry()
+        if tel.enabled:
+            tel.count(f"{self._metric_prefix}.puts")
+            if evicted:
+                tel.count(f"{self._metric_prefix}.evictions")
+            tel.gauge(f"{self._metric_prefix}.entries", entries)
 
     def _drop_graph_index(self, graph_key: int, digest: int) -> None:
         members = self._by_graph.get(graph_key)
@@ -279,7 +299,17 @@ class LayoutCache:
             for entry_digest in members:
                 self._entries.pop(entry_digest, None)
             self.invalidations += len(members)
-            return len(members)
+            dropped = len(members)
+        if dropped:
+            logger.warning(
+                "invalidated %d interned graph layout(s) for graph digest %d",
+                dropped,
+                digest,
+            )
+            tel = current_telemetry()
+            if tel.enabled:
+                tel.count(f"{self._metric_prefix}.invalidations", dropped)
+        return dropped
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""

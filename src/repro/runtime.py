@@ -127,6 +127,7 @@ from repro.selection.registry import get_default_crn, make_selector
 from repro.service.cache import CacheLike, WorldCache
 from repro.service.evaluator import BatchEvaluator
 from repro.service.requests import QueryRequest, QueryResult
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.types import Edge, VertexId
 
 
@@ -172,6 +173,12 @@ class RuntimeConfig:
         the ambient default cache, ``0`` disables caching, a positive
         integer builds a session-private cache with that entry bound
         (owned: dropped at :meth:`Session.close`), an instance is shared.
+    telemetry:
+        Observability spec: ``None`` inherits the ambient pipeline
+        (normally disabled), ``True`` builds a session-owned
+        metrics-only :class:`~repro.telemetry.Telemetry` (closed with
+        the session), ``False`` pins telemetry **off** even inside an
+        enabled outer scope, an instance is shared.
     """
 
     backend: Optional[str] = None
@@ -182,6 +189,7 @@ class RuntimeConfig:
     adaptive: Optional[AdaptiveSettings] = None
     seed: SeedLike = None
     world_cache: CacheLike = None
+    telemetry: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -243,6 +251,11 @@ class RuntimeConfig:
             raise TypeError(
                 f"cannot interpret {self.world_cache!r} as a world-cache spec"
             )
+        if self.telemetry is not None and not isinstance(self.telemetry, (bool, Telemetry)):
+            raise TypeError(
+                f"RuntimeConfig.telemetry must be None, a bool or a Telemetry "
+                f"instance, got {self.telemetry!r}"
+            )
 
     def replace(self, **changes) -> "RuntimeConfig":
         """Return a copy with the named fields replaced (re-validated)."""
@@ -266,6 +279,9 @@ class RuntimeConfig:
         adaptive = (
             dataclasses.asdict(self.adaptive) if self.adaptive is not None else None
         )
+        telemetry = self.telemetry
+        if isinstance(telemetry, Telemetry):
+            telemetry = telemetry.enabled
         return {
             "backend": self.backend,
             "crn": self.crn,
@@ -275,6 +291,7 @@ class RuntimeConfig:
             "adaptive": adaptive,
             "seed": seed,
             "world_cache": cache,
+            "telemetry": telemetry,
         }
 
 
@@ -329,6 +346,16 @@ class Session:
             self._cache = None  # caching explicitly disabled in this scope
         else:
             self._cache = WorldCache(max_entries=spec)
+        tspec = base.telemetry
+        self._owns_telemetry = tspec is True
+        if tspec is None:
+            self._telemetry = UNSET  # inherit the ambient pipeline
+        elif tspec is False:
+            self._telemetry = NULL_TELEMETRY  # pinned off in this scope
+        elif tspec is True:
+            self._telemetry = Telemetry()
+        else:
+            self._telemetry = tspec
         self._evaluator: Optional[BatchEvaluator] = None
         # lifecycle bookkeeping: activation tokens must be reset in the
         # context that created them, so entries live on a context-local
@@ -376,6 +403,7 @@ class Session:
                 cfg.shard_size if cfg.shard_size is not None else UNSET, "shard_size"
             ),
             world_cache=merged(self._cache, "world_cache"),
+            telemetry=merged(self._telemetry, "telemetry"),
             n_samples=merged(
                 cfg.n_samples if cfg.n_samples is not None else UNSET, "n_samples"
             ),
@@ -457,6 +485,11 @@ class Session:
         return self._cache if self._cache is not UNSET else None
 
     @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The session's resolved pipeline (``None`` when inherited)."""
+        return self._telemetry if self._telemetry is not UNSET else None
+
+    @property
     def evaluator(self) -> BatchEvaluator:
         """The session's lazily built batch evaluator (shared by :meth:`batch`).
 
@@ -520,6 +553,8 @@ class Session:
             self._executor.close()
         if self._owns_cache and isinstance(self._cache, WorldCache):
             self._cache.clear()
+        if self._owns_telemetry and isinstance(self._telemetry, Telemetry):
+            self._telemetry.close()
 
     # ------------------------------------------------------------------
     # knob resolution for the workload methods.  All four helpers run
@@ -772,6 +807,14 @@ def current_config() -> RuntimeConfig:
         # the store into a live executor (possibly spawning a pool), and a
         # snapshot must never create or install state
         executor = defaults.executor
+    if effective is not None and effective.telemetry is not UNSET:
+        telemetry = effective.telemetry
+    else:
+        # peek only; a raw spec in the store (True / a path) is reported
+        # as-is when it is a bool, else left out of the snapshot
+        telemetry = defaults.telemetry
+    if not isinstance(telemetry, (Telemetry, bool, type(None))):
+        telemetry = None
     return RuntimeConfig(
         backend=get_default_backend(),
         crn=get_default_crn(),
@@ -781,6 +824,7 @@ def current_config() -> RuntimeConfig:
         adaptive=policy("adaptive"),
         seed=policy("seed"),
         world_cache=cache,
+        telemetry=telemetry,
     )
 
 

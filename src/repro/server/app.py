@@ -48,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import json
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -65,6 +66,9 @@ from repro.service.requests import (
     request_from_dict,
     result_to_dict,
 )
+from repro.telemetry import get_default_telemetry
+
+logger = logging.getLogger(__name__)
 
 #: Tenant key of requests that do not name one.
 DEFAULT_TENANT = ""
@@ -173,8 +177,18 @@ class ReproServer:
             base = dataclasses.replace(base, **overrides)
         self.graph = graph
         self.config = base
-        self.metrics = ServerMetrics(latency_window=base.latency_window)
         self._root = Session(base.runtime)
+        # the pipeline is resolved once, at construction: the session's
+        # (owned/shared/pinned-off) pipeline when the runtime names one,
+        # else whatever is ambient *now* — the server outlives request
+        # contexts, so late resolution would be a per-request surprise
+        session_telemetry = self._root.telemetry
+        self.telemetry = (
+            session_telemetry if session_telemetry is not None else get_default_telemetry()
+        )
+        self.metrics = ServerMetrics(
+            latency_window=base.latency_window, telemetry=self.telemetry
+        )
         self._sessions: Dict[str, Session] = {DEFAULT_TENANT: self._root}
         self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue()
         self._inflight = 0
@@ -285,6 +299,9 @@ class ReproServer:
         cache = self._root.world_cache
         if cache is not None:
             runtime = runtime.replace(world_cache=cache)
+        if self.telemetry.enabled:
+            # tenants emit into the server's pipeline, not a private one
+            runtime = runtime.replace(telemetry=self.telemetry)
         return runtime
 
     def _session_for(self, tenant: str) -> Session:
@@ -347,6 +364,11 @@ class ReproServer:
         payload["inflight"] = self._inflight
         payload["max_inflight"] = self.config.max_inflight
         payload["tenants"] = len(self._sessions)
+        # the shared-registry view: engine/executor/cache/server counters
+        # in one merged snapshot (None when the pipeline is disabled)
+        payload["telemetry"] = (
+            self.telemetry.snapshot() if self.telemetry.enabled else None
+        )
         return payload
 
     # ------------------------------------------------------------------
@@ -390,6 +412,7 @@ class ReproServer:
             )
             validate_request(self.graph, request)
         except (ValueError, TypeError, ReproError) as error:
+            logger.debug("bad request %r: %s", request_id, error)
             self.metrics.observe_bad_request()
             return protocol.error_response(
                 request_id, protocol.ERR_BAD_REQUEST, str(error)
@@ -397,12 +420,18 @@ class ReproServer:
         # backpressure: both rejections are explicit responses — a client
         # must never hang because the server is busy or going away
         if self._draining:
+            logger.warning("rejected request %r: server is draining", request_id)
             self.metrics.observe_rejected(protocol.ERR_SHUTTING_DOWN)
             return protocol.error_response(
                 request_id, protocol.ERR_SHUTTING_DOWN,
                 "server is draining and accepts no new work",
             )
         if self._inflight >= self.config.max_inflight:
+            logger.warning(
+                "rejected request %r: in-flight bound (%d) reached",
+                request_id,
+                self.config.max_inflight,
+            )
             self.metrics.observe_rejected(protocol.ERR_OVER_CAPACITY)
             return protocol.error_response(
                 request_id, protocol.ERR_OVER_CAPACITY,

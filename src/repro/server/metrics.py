@@ -13,6 +13,13 @@ All mutators take one internal lock: counters are bumped from the event
 loop *and* read from arbitrary threads (tests, embedding applications),
 and a torn read would defeat the point of an observability surface —
 the same reasoning as :attr:`repro.service.cache.WorldCache.hit_rate`.
+
+When the server runs with a live :class:`repro.telemetry.Telemetry`
+pipeline, every mutator additionally forwards into its shared
+:class:`~repro.telemetry.registry.MetricsRegistry` under ``server.*``
+names, so one registry snapshot spans engine, executor, caches *and*
+the serving tier; :meth:`ServerMetrics.snapshot` stays the
+latency-percentile view it always was.
 """
 
 from __future__ import annotations
@@ -21,6 +28,11 @@ import math
 import threading
 from collections import deque
 from typing import Dict, Optional
+
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+#: Coalesced-batch-size histogram bounds (batches are small by design).
+_BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 def percentile(sorted_values, q: float) -> Optional[float]:
@@ -40,11 +52,21 @@ class ServerMetrics:
         Number of most-recent request latencies retained for the
         percentile fields.  Totals (counts, means) cover the server's
         whole lifetime; percentiles describe the window.
+    telemetry:
+        A :class:`repro.telemetry.Telemetry` pipeline to forward every
+        counter into (``server.*`` registry names).  Defaults to the
+        disabled singleton — forwarding then costs one attribute check
+        per mutator.
     """
 
-    def __init__(self, latency_window: int = 2048) -> None:
+    def __init__(
+        self,
+        latency_window: int = 2048,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         if latency_window <= 0:
             raise ValueError(f"latency_window must be positive, got {latency_window!r}")
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._lock = threading.Lock()
         #: query requests admitted to the coalescing queue
         self.admitted = 0
@@ -73,6 +95,9 @@ class ServerMetrics:
     def observe_admitted(self) -> None:
         with self._lock:
             self.admitted += 1
+        tel = self._telemetry
+        if tel.enabled:
+            tel.count("server.admitted")
 
     def observe_answered(self, kind: str, latency_seconds: float) -> None:
         with self._lock:
@@ -81,28 +106,49 @@ class ServerMetrics:
             self._latencies.append(latency_seconds)
             self._latency_total += latency_seconds
             self._latency_count += 1
+        tel = self._telemetry
+        if tel.enabled:
+            tel.count("server.answered")
+            tel.observe("server.latency_seconds", latency_seconds)
 
     def observe_failed(self) -> None:
         with self._lock:
             self.failed += 1
+        tel = self._telemetry
+        if tel.enabled:
+            tel.count("server.failed")
 
     def observe_rejected(self, error_type: str) -> None:
         with self._lock:
             self.rejected[error_type] = self.rejected.get(error_type, 0) + 1
+        tel = self._telemetry
+        if tel.enabled:
+            tel.count("server.rejected")
 
     def observe_bad_request(self) -> None:
         with self._lock:
             self.bad_requests += 1
+        tel = self._telemetry
+        if tel.enabled:
+            tel.count("server.bad_requests")
 
     def observe_control(self) -> None:
         with self._lock:
             self.control += 1
+        tel = self._telemetry
+        if tel.enabled:
+            tel.count("server.control")
 
     def observe_batch(self, size: int) -> None:
         with self._lock:
             self.batches += 1
             self.batched_requests += size
             self.largest_batch = max(self.largest_batch, size)
+        tel = self._telemetry
+        if tel.enabled:
+            tel.count("server.batches")
+            tel.count("server.batched_requests", size)
+            tel.observe("server.batch_size", size, bounds=_BATCH_SIZE_BUCKETS)
 
     # ------------------------------------------------------------------
     # reporting

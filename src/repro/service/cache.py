@@ -27,6 +27,7 @@ content, and a weight edit can never serve a stale flow number.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -42,6 +43,9 @@ from repro._runtime_state import (
 from repro.digest import combine_digests, graph_digest
 from repro.reachability.engine import WorldBatch
 from repro.reachability.layout import invalidate_graph_layouts
+from repro.telemetry import current_telemetry
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -111,6 +115,11 @@ class WorldCache:
             f"/{self.max_entries} hits={self.hits} misses={self.misses}>"
         )
 
+    #: registry namespace the cache's stats are re-emitted under; the
+    #: structurally identical LayoutCache overrides it (see
+    #: :mod:`repro.reachability.layout`)
+    _metric_prefix = "cache.world"
+
     # ------------------------------------------------------------------
     def get(self, key: WorldKey) -> Optional[WorldBatch]:
         """Return the cached batch for ``key`` (counting a hit or miss)."""
@@ -118,14 +127,21 @@ class WorldCache:
             entry = self._entries.get(key.digest)
             if entry is None:
                 self.misses += 1
-                return None
-            self.hits += 1
-            self._entries.move_to_end(key.digest)
-            return entry[1]
+            else:
+                self.hits += 1
+                self._entries.move_to_end(key.digest)
+        # re-emit through the ambient registry outside the lock: the
+        # stats() dict stays the canonical per-instance view, the
+        # registry aggregates across instances and layers
+        tel = current_telemetry()
+        if tel.enabled:
+            tel.count(f"{self._metric_prefix}.{'misses' if entry is None else 'hits'}")
+        return None if entry is None else entry[1]
 
     def put(self, key: WorldKey, batch: WorldBatch) -> None:
         """Store ``batch`` under ``key``, evicting the LRU entry if needed."""
         digest = key.digest
+        evicted = False
         with self._lock:
             self._entries[digest] = (key, batch)
             self._entries.move_to_end(digest)
@@ -134,6 +150,14 @@ class WorldCache:
                 evicted_digest, (evicted_key, _) = self._entries.popitem(last=False)
                 self._drop_graph_index(evicted_key.graph_digest, evicted_digest)
                 self.evictions += 1
+                evicted = True
+            entries = len(self._entries)
+        tel = current_telemetry()
+        if tel.enabled:
+            tel.count(f"{self._metric_prefix}.puts")
+            if evicted:
+                tel.count(f"{self._metric_prefix}.evictions")
+            tel.gauge(f"{self._metric_prefix}.entries", entries)
 
     def _drop_graph_index(self, graph_key: int, digest: int) -> None:
         members = self._by_graph.get(graph_key)
@@ -168,7 +192,17 @@ class WorldCache:
             for entry_digest in members:
                 self._entries.pop(entry_digest, None)
             self.invalidations += len(members)
-            return len(members)
+            dropped = len(members)
+        if dropped:
+            logger.warning(
+                "invalidated %d cached world batch(es) for graph digest %d",
+                dropped,
+                digest,
+            )
+            tel = current_telemetry()
+            if tel.enabled:
+                tel.count(f"{self._metric_prefix}.invalidations", dropped)
+        return dropped
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""

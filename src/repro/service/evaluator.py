@@ -70,6 +70,7 @@ from repro.service.requests import (
     QueryRequest,
     QueryResult,
 )
+from repro.telemetry import current_telemetry
 
 
 def validate_request(graph: UncertainGraph, request: QueryRequest) -> None:
@@ -190,10 +191,13 @@ class BatchEvaluator:
     ) -> tuple[WorldBatch, bool]:
         """Fetch the group's world batch from the cache or sample it."""
         cache = self.cache  # resolve once so get and put hit the same instance
+        tel = current_telemetry()
         if cache is not None:
             cached = cache.get(group.key)
             if cached is not None:
                 self.batches_reused += 1
+                if tel.enabled:
+                    tel.count("service.batches_reused")
                 return cached, True
         engine = SamplingEngine(
             group.key.backend, executor=executor, shard_size=self.shard_size
@@ -206,6 +210,8 @@ class BatchEvaluator:
             edges=None if group.edges is None else list(group.edges),
         )
         self.batches_sampled += 1
+        if tel.enabled:
+            tel.count("service.batches_sampled")
         if cache is not None:
             cache.put(group.key, batch)
         return batch, False
@@ -278,6 +284,23 @@ class BatchEvaluator:
     ) -> List[QueryResult]:
         """Answer a mixed batch of requests; results align with input order."""
         request_list = list(requests)
+        tel = current_telemetry()
+        if not tel.enabled:
+            return self._evaluate_batch(graph, request_list)
+        with tel.span("service.evaluate", n_requests=len(request_list)) as span:
+            results = self._evaluate_batch(graph, request_list)
+            plan = self.last_plan
+            if plan is not None:
+                span.set(
+                    n_groups=len(plan.groups),
+                    amortization=round(plan.amortization, 3),
+                )
+            tel.count("service.requests", len(request_list))
+            return results
+
+    def _evaluate_batch(
+        self, graph: UncertainGraph, request_list: List[QueryRequest]
+    ) -> List[QueryResult]:
         for request in request_list:
             self._validate(graph, request)
         results: List[Optional[QueryResult]] = [None] * len(request_list)
@@ -319,6 +342,20 @@ class BatchEvaluator:
         if cache is None:
             return {}
         request_list = list(requests)
+        tel = current_telemetry()
+        if not tel.enabled:
+            self._warm_batch(graph, request_list)
+            return cache.stats()
+        with tel.span("service.warm", n_requests=len(request_list)) as span:
+            self._warm_batch(graph, request_list)
+            plan = self.last_plan
+            if plan is not None:
+                span.set(n_groups=len(plan.groups))
+        return cache.stats()
+
+    def _warm_batch(
+        self, graph: UncertainGraph, request_list: List[QueryRequest]
+    ) -> None:
         for request in request_list:
             self._validate(graph, request)
         executor = self._effective_executor()
@@ -331,7 +368,6 @@ class BatchEvaluator:
         self.last_plan = plan
         for group in plan.groups:
             self._group_batch(graph, group, executor)
-        return cache.stats()
 
     def cache_stats(self) -> Dict[str, float]:
         """Statistics of the active cache (empty dict when disabled)."""

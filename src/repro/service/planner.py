@@ -35,6 +35,7 @@ from repro.digest import edge_sequence_digest
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.service.cache import WorldKey, world_key_source_repr
 from repro.service.requests import PAIR_REACHABILITY, QueryRequest
+from repro.telemetry import current_telemetry
 from repro.types import Edge
 
 
@@ -133,7 +134,7 @@ class QueryPlanner:
                 keys[key_digest] = key
                 payloads[key_digest] = (request.source, request.edges)
             groups[key_digest].append((position, request))
-        return QueryPlan(
+        plan = QueryPlan(
             groups=tuple(
                 QueryGroup(
                     key=keys[key_digest],
@@ -146,6 +147,14 @@ class QueryPlanner:
             trivial=tuple(trivial),
             graph_digest=digest,
         )
+        tel = current_telemetry()
+        if tel.enabled:
+            tel.count("service.plan_calls")
+            tel.count("service.planned_requests", len(requests))
+            tel.count("service.planned_groups", len(plan.groups))
+            if plan.trivial:
+                tel.count("service.trivial_requests", len(plan.trivial))
+        return plan
 
 
 __all__ = ["QueryGroup", "QueryPlan", "QueryPlanner"]

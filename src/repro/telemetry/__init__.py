@@ -1,0 +1,86 @@
+"""``repro.telemetry`` — the unified observability layer.
+
+One :class:`MetricsRegistry` (thread-safe counters / gauges /
+fixed-bucket histograms) plus span-based tracing with pluggable
+exporters, resolved like every other runtime knob: explicit argument →
+active :class:`repro.runtime.Session` → ``repro.runtime.defaults`` →
+:data:`NULL_TELEMETRY` (disabled, all no-ops).  Every hot path of the
+stack — engine sampling, the CSR backend's dense/sparse round mix, the
+process-pool executor, the world/layout caches, the batch service and
+the server — emits through the resolved pipeline, so one snapshot
+explains where a query's time went.
+
+Enable per scope::
+
+    import repro
+    from repro.telemetry import Telemetry, InMemoryExporter
+
+    tel = Telemetry(exporters=[InMemoryExporter()])
+    with repro.session(telemetry=tel) as s:
+        s.expected_flow(graph, query, n_samples=1000)
+    print(tel.snapshot()["counters"])          # engine.*, cache.*, ...
+
+or process-wide via ``repro.runtime.defaults.telemetry = True`` (raw
+specs — ``True``, a JSONL path, ``"log"`` — are normalized lazily), or
+without touching code via the ``REPRO_TELEMETRY`` environment variable.
+
+On the CLI: ``--trace`` / ``--trace-out`` on the workload subcommands,
+and ``repro-flow telemetry`` runs a workload and dumps the registry and
+the span tree.
+"""
+
+from repro.telemetry.core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    current_telemetry,
+    get_default_telemetry,
+    install_env_telemetry,
+    resolve_telemetry,
+    telemetry_from_spec,
+    traced,
+)
+from repro.telemetry.registry import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import (
+    InMemoryExporter,
+    JSONLExporter,
+    LoggingExporter,
+    SpanRecord,
+    format_span_tree,
+    iter_spans,
+)
+
+#: ``REPRO_TELEMETRY=<path|log|1>`` installs a process-wide default
+#: pipeline at import time (never overwriting explicit configuration).
+install_env_telemetry()
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "InMemoryExporter",
+    "JSONLExporter",
+    "LoggingExporter",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpanRecord",
+    "Telemetry",
+    "current_telemetry",
+    "format_span_tree",
+    "get_default_telemetry",
+    "install_env_telemetry",
+    "iter_spans",
+    "resolve_telemetry",
+    "telemetry_from_spec",
+    "traced",
+]

@@ -1,0 +1,207 @@
+"""Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` instance is the single sink every
+instrumented layer (engine, executor, caches, service, server) emits
+into, so a snapshot shows the whole stack at once instead of the three
+disconnected ad-hoc dicts it replaces.  Instruments are created lazily
+by name (``registry.counter("engine.worlds_sampled")``) and are
+per-instrument locked, so concurrent updates from threads *and* asyncio
+tasks are exact — no torn reads, no lost increments (pinned by
+``tests/test_telemetry.py``).
+
+Naming convention: dotted ``<layer>.<thing>`` paths mirroring the span
+names — ``engine.*``, ``executor.*``, ``cache.world.*``,
+``cache.layout.*``, ``service.*``, ``server.*``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds for durations, in seconds
+#: (100µs .. 30s, roughly exponential).  The overflow bucket is implicit.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+#: Default buckets for sizes/counts (batch sizes, group sizes, ...).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def add(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max.
+
+    ``bounds`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last bound.  Bucket layout is fixed at
+    creation, so merging snapshots across processes stays well-defined.
+    """
+
+    __slots__ = ("name", "bounds", "_lock", "_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted and non-empty, got {bounds!r}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-safe snapshot: count/sum/mean/min/max plus bucket counts."""
+        with self._lock:
+            count, total = self._count, self._sum
+            counts = list(self._counts)
+            lo, hi = self._min, self._max
+        buckets = [
+            {"le": bound, "count": counts[i]} for i, bound in enumerate(self.bounds)
+        ]
+        buckets.append({"le": None, "count": counts[-1]})  # overflow
+        return {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else None,
+            "min": lo if count else None,
+            "max": hi if count else None,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named instrument store shared by every instrumented layer.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create by name; asking
+    for an existing name as a different instrument kind raises, so two
+    layers cannot silently write incompatible data under one name.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = factory()
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        chosen = DEFAULT_TIME_BUCKETS if bounds is None else bounds
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, chosen))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """One JSON-safe dict of every instrument, grouped by kind."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, object] = {}
+        for name in sorted(instruments):
+            instrument = instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            elif isinstance(instrument, Histogram):
+                histograms[name] = instrument.summary()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and long-lived servers)."""
+        with self._lock:
+            self._instruments.clear()

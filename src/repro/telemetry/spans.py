@@ -1,0 +1,269 @@
+"""Span-based tracing: nested wall-time spans plus pluggable exporters.
+
+A span measures one monotonic wall-time interval
+(:func:`time.perf_counter`) under a dotted name mirroring the metric
+namespace (``engine.sample_worlds``, ``service.evaluate``, ...).  Spans
+nest through a :class:`contextvars.ContextVar`, so nesting is correct
+across threads and asyncio tasks: a span opened inside another span *of
+the same telemetry pipeline* becomes its child; when the outermost span
+closes, the finished tree is handed to every exporter.
+
+Exporters are deliberately tiny:
+
+* :class:`InMemoryExporter` — keeps finished root spans in a list
+  (tests, and the CLI's span-tree printout);
+* :class:`JSONLExporter` — appends one JSON object per span
+  (depth-first, with ``span_id``/``parent_id``) to a file;
+* :class:`LoggingExporter` — bridges finished spans onto a stdlib
+  :mod:`logging` logger.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+import time
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class SpanRecord:
+    """One finished (or in-flight) span: name, attributes, timing, children."""
+
+    __slots__ = ("name", "attributes", "started_at", "duration_s", "children")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.attributes: Dict[str, object] = attributes or {}
+        self.started_at = time.perf_counter()
+        self.duration_s: float = 0.0
+        self.children: List["SpanRecord"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SpanRecord {self.name} {self.duration_s * 1e3:.3f}ms "
+            f"children={len(self.children)}>"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Recursive JSON-safe rendering (children nested)."""
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "duration_s": self.duration_s,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def iter_spans(
+    root: SpanRecord,
+) -> Iterator[Tuple[SpanRecord, int, Optional[SpanRecord]]]:
+    """Depth-first ``(span, depth, parent)`` walk over one span tree."""
+    stack: List[Tuple[SpanRecord, int, Optional[SpanRecord]]] = [(root, 0, None)]
+    while stack:
+        span, depth, parent = stack.pop()
+        yield span, depth, parent
+        for child in reversed(span.children):
+            stack.append((child, depth + 1, span))
+
+
+def format_span_tree(root: SpanRecord) -> str:
+    """Render one span tree with durations and share-of-root percentages.
+
+    The per-layer durations of the children visibly sum to (almost all
+    of) the parent's wall time; the residue is the parent's own work.
+    """
+    total = root.duration_s or 1e-12
+    lines: List[str] = []
+
+    def emit(span: SpanRecord, prefix: str, child_prefix: str) -> None:
+        attrs = ""
+        if span.attributes:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+            attrs = f"  {{{rendered}}}"
+        lines.append(
+            f"{prefix}{span.name:<{max(1, 46 - len(prefix))}} "
+            f"{span.duration_s * 1e3:>10.2f} ms  {span.duration_s / total * 100:>5.1f}%"
+            f"{attrs}"
+        )
+        for i, child in enumerate(span.children):
+            last = i == len(span.children) - 1
+            emit(
+                child,
+                child_prefix + ("└─ " if last else "├─ "),
+                child_prefix + ("   " if last else "│  "),
+            )
+
+    emit(root, "", "")
+    return "\n".join(lines)
+
+
+#: The innermost open span of the current thread/task, tagged with the
+#: telemetry pipeline that opened it (spans never attach across
+#: pipelines).  Module-level — not per-Telemetry — so long-lived threads
+#: do not accumulate dead ContextVars (they can never be removed from a
+#: Context).
+_CURRENT_SPAN: ContextVar[Optional[Tuple[object, SpanRecord]]] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_span(owner: object) -> Optional[SpanRecord]:
+    """The innermost open span belonging to ``owner``'s pipeline, if any."""
+    entry = _CURRENT_SPAN.get()
+    if entry is not None and entry[0] is owner:
+        return entry[1]
+    return None
+
+
+class SpanHandle:
+    """Context manager for one span: times it, nests it, exports roots.
+
+    Returned by ``Telemetry.span(name, **attrs)``; also usable via
+    :meth:`set` to attach attributes discovered mid-span (sample counts,
+    cache verdicts, ...).
+    """
+
+    __slots__ = ("_owner", "record", "_token")
+
+    def __init__(self, owner, name: str, attributes: Optional[Dict[str, object]]) -> None:
+        self._owner = owner
+        self.record = SpanRecord(name, attributes)
+        self._token = None
+
+    def set(self, **attributes: object) -> "SpanHandle":
+        self.record.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        self.record.started_at = time.perf_counter()
+        self._token = _CURRENT_SPAN.set((self._owner, self.record))
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.record.duration_s = time.perf_counter() - self.record.started_at
+        token, self._token = self._token, None
+        if token is not None:
+            _CURRENT_SPAN.reset(token)
+        outer = _CURRENT_SPAN.get()
+        if outer is not None and outer[0] is self._owner:
+            outer[1].children.append(self.record)
+        else:
+            self._owner._export_root(self.record)
+
+
+class NullSpanHandle:
+    """The shared no-op span of disabled telemetry: enter/exit do nothing."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: object) -> "NullSpanHandle":
+        return self
+
+    def __enter__(self) -> "NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_SPAN = NullSpanHandle()
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class InMemoryExporter:
+    """Collects finished root spans in memory (tests + CLI printouts)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.spans: List[SpanRecord] = []
+
+    def export(self, root: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(root)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+
+    def close(self) -> None:  # symmetry with the file exporter
+        pass
+
+
+class JSONLExporter:
+    """Appends one JSON object per span (depth-first) to a file.
+
+    Lines carry ``span_id``/``parent_id`` (per-exporter sequential ints)
+    so the tree round-trips; every root-span export is flushed, so the
+    file is useful even for runs that never close cleanly.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle: Optional[io.TextIOBase] = None
+        self._next_id = 0
+
+    def export(self, root: SpanRecord) -> None:
+        lines: List[str] = []
+        with self._lock:
+            ids: Dict[int, int] = {}
+            for span, _depth, parent in iter_spans(root):
+                span_id = self._next_id
+                self._next_id += 1
+                ids[id(span)] = span_id
+                lines.append(
+                    json.dumps(
+                        {
+                            "span_id": span_id,
+                            "parent_id": None if parent is None else ids[id(parent)],
+                            "name": span.name,
+                            "duration_s": span.duration_s,
+                            "attributes": {
+                                k: repr(v)
+                                if not isinstance(v, (str, int, float, bool, type(None)))
+                                else v
+                                for k, v in span.attributes.items()
+                            },
+                        },
+                        sort_keys=True,
+                    )
+                )
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write("\n".join(lines) + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class LoggingExporter:
+    """Bridges finished spans onto a stdlib :mod:`logging` logger."""
+
+    def __init__(self, logger: Optional[logging.Logger] = None, level: int = logging.INFO):
+        self.logger = logger if logger is not None else logging.getLogger("repro.telemetry")
+        self.level = level
+
+    def export(self, root: SpanRecord) -> None:
+        if not self.logger.isEnabledFor(self.level):
+            return
+        for span, depth, _parent in iter_spans(root):
+            self.logger.log(
+                self.level,
+                "span %s%s %.3f ms %s",
+                "  " * depth,
+                span.name,
+                span.duration_s * 1e3,
+                span.attributes or "",
+            )
+
+    def close(self) -> None:
+        pass

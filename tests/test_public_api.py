@@ -61,6 +61,11 @@ EXPECTED_PUBLIC_API = sorted(
         "make_selector",
         "ALGORITHM_NAMES",
         "SelectionResult",
+        # unified telemetry layer
+        "MetricsRegistry",
+        "Telemetry",
+        "current_telemetry",
+        "traced",
         # unified runtime / session API
         "runtime",
         "RuntimeConfig",
