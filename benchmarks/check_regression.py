@@ -22,6 +22,11 @@ legs::
     python benchmarks/check_regression.py benchmarks/BENCH_backends.json fresh.json
     PYTHONPATH=src python benchmarks/bench_server.py --quick --json fresh-server.json
     python benchmarks/check_regression.py benchmarks/BENCH_server.json fresh-server.json
+
+The same diff covers ``BENCH_selection.json`` (bare ``speedup`` per
+``algorithm`` row), ``BENCH_queries.json`` (``cold_speedup`` /
+``warm_speedup``) and ``BENCH_parallel.json`` (``workers*_speedup``
+under ``sharded_rows``).
 """
 
 from __future__ import annotations
@@ -35,20 +40,36 @@ from typing import Dict, List, Tuple
 DEFAULT_TOLERANCE = 0.25
 
 #: Only dimensionless ratio fields participate in the diff
-#: (``_ratio`` covers bench_server's served-vs-naive throughput ratio).
+#: (``_ratio`` covers bench_server's served-vs-naive throughput ratio;
+#: the bare ``speedup`` is bench_selection's CRN-vs-resample ratio).
 RATIO_SUFFIXES = ("_speedup", "_vs_vectorized", "_ratio")
+
+#: Keys under which a report may store comparable rows
+#: (``sharded_rows`` is bench_parallel's layout).
+ROW_KEYS = ("rows", "sharded_rows")
 
 
 def ratio_fields(row: dict) -> Dict[str, float]:
     return {
         key: float(value)
         for key, value in row.items()
-        if key.endswith(RATIO_SUFFIXES) and isinstance(value, (int, float))
+        if (key == "speedup" or key.endswith(RATIO_SUFFIXES))
+        and isinstance(value, (int, float))
     }
 
 
-def index_rows(report: dict) -> Dict[Tuple[int, int], dict]:
-    return {(row["n_vertices"], row["n_samples"]): row for row in report.get("rows", [])}
+def index_rows(report: dict) -> Dict[Tuple[int, int, str], dict]:
+    """Rows keyed by size, sample count and (optional) algorithm label.
+
+    bench_selection emits one row per ``algorithm`` at the same
+    ``(n_vertices, n_samples)``, so the label participates in the key;
+    reports without it collapse onto the empty string unchanged.
+    """
+    indexed: Dict[Tuple[int, int, str], dict] = {}
+    for key in ROW_KEYS:
+        for row in report.get(key, []):
+            indexed[(row["n_vertices"], row["n_samples"], row.get("algorithm", ""))] = row
+    return indexed
 
 
 def compare(baseline: dict, fresh: dict, tolerance: float) -> List[str]:
@@ -71,8 +92,9 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> List[str]:
             compared += 1
             floor = base_ratios[field] * (1.0 - tolerance)
             if fresh_ratios[field] < floor:
+                label = f" [{key[2]}]" if key[2] else ""
                 failures.append(
-                    f"row |V|={key[0]} samples={key[1]} {field}: "
+                    f"row |V|={key[0]} samples={key[1]}{label} {field}: "
                     f"{fresh_ratios[field]:.2f}x < {floor:.2f}x "
                     f"(baseline {base_ratios[field]:.2f}x - {tolerance:.0%})"
                 )

@@ -128,6 +128,28 @@ def main() -> None:
     )
     print(format_span_tree(memory.spans[-1]))
 
+    # 6. profiling: profile=True upgrades the pipeline so every span also
+    #    records CPU time, allocation deltas and GC collections — the
+    #    hot-span table ranks where the resources went, and the collapsed
+    #    stacks feed flamegraph.pl / speedscope.  Like tracing, profiling
+    #    never changes a sampled result.
+    from repro.telemetry.profile import (
+        ProfilingTelemetry,
+        format_collapsed,
+        format_hot_spans,
+    )
+
+    profile_memory = InMemoryExporter()
+    profile_tel = ProfilingTelemetry(exporters=[profile_memory])
+    with repro.session(telemetry=profile_tel, profile=True, seed=7) as s:
+        s.expected_flow(graph, query, n_samples=800)
+    profile_tel.close()
+    print("\nProfiling: hot spans by self time (CPU / alloc / gc per span):")
+    print(format_hot_spans(profile_memory.spans, limit=5))
+    folded = format_collapsed(profile_memory.spans).splitlines()
+    print(f"collapsed stacks for a flamegraph ({len(folded)} lines), e.g.:")
+    print(f"  {folded[0]}")
+
 
 if __name__ == "__main__":
     main()

@@ -96,6 +96,19 @@ def add_runtime_flags(
         help="additionally write every finished span to this JSONL file "
              "(implies --trace)",
     )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="trace with resource profiling: every span additionally "
+             "records CPU time, tracemalloc allocation deltas and GC "
+             "collections, and a hot-span table is printed (implies --trace; "
+             "results are bit-for-bit identical with or without)",
+    )
+    group.add_argument(
+        "--flame-out", type=Path, default=None,
+        help="write the profiled span trees in collapsed-stack format "
+             "(one 'a;b;c weight' line, flamegraph.pl/speedscope input) "
+             "to this file (implies --profile)",
+    )
 
 
 def _build_trace_telemetry(args: argparse.Namespace):
@@ -107,7 +120,8 @@ def _build_trace_telemetry(args: argparse.Namespace):
     """
     trace = getattr(args, "trace", False)
     trace_out = getattr(args, "trace_out", None)
-    if not trace and trace_out is None:
+    profile = _profiling_requested(args)
+    if not trace and trace_out is None and not profile:
         return None, None
     from repro.telemetry import InMemoryExporter, JSONLExporter, Telemetry
 
@@ -115,7 +129,18 @@ def _build_trace_telemetry(args: argparse.Namespace):
     exporters: List[object] = [memory]
     if trace_out is not None:
         exporters.append(JSONLExporter(trace_out))
+    if profile:
+        from repro.telemetry.profile import ProfilingTelemetry
+
+        return ProfilingTelemetry(exporters=exporters), memory
     return Telemetry(exporters=exporters), memory
+
+
+def _profiling_requested(args: argparse.Namespace) -> bool:
+    """``--profile``, or ``--flame-out`` (which implies it)."""
+    return bool(
+        getattr(args, "profile", False) or getattr(args, "flame_out", None) is not None
+    )
 
 
 def _format_registry(snapshot: dict) -> List[str]:
@@ -159,9 +184,26 @@ def _emit_trace_report(args: argparse.Namespace, stream=None) -> None:
         print(format_span_tree(root), file=out)
     for line in registry_lines:
         print(line, file=out)
+    if getattr(telemetry, "profiling", False) and memory.spans:
+        from repro.telemetry.profile import format_hot_spans
+
+        print(file=out)
+        print(format_hot_spans(memory.spans), file=out)
+    _write_flame(args, memory, out)
     trace_out = getattr(args, "trace_out", None)
     if trace_out is not None:
         print(f"span trace written to {trace_out}", file=out)
+
+
+def _write_flame(args: argparse.Namespace, memory, out) -> None:
+    """Write the ``--flame-out`` collapsed-stack file, if requested."""
+    flame_out = getattr(args, "flame_out", None)
+    if flame_out is None or memory is None:
+        return
+    from repro.telemetry.profile import format_collapsed
+
+    flame_out.write_text(format_collapsed(memory.spans) + "\n", encoding="utf-8")
+    print(f"collapsed stacks written to {flame_out}", file=out)
 
 
 def runtime_config_from_args(
@@ -189,6 +231,7 @@ def runtime_config_from_args(
             seed=seed,
             world_cache=args.cache_size,
             telemetry=telemetry,
+            profile=True if _profiling_requested(args) else None,
         )
     except (TypeError, ValueError) as error:
         raise SystemExit(str(error)) from error
@@ -278,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--warm", type=Path, default=None,
                        help="JSONL request file whose world batches are pre-sampled "
                             "into the cache before the server accepts connections")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="additionally expose a Prometheus /metrics scrape "
+                            "endpoint on this HTTP port (0 binds an ephemeral "
+                            "port; the bound address is printed on startup)")
+    serve.add_argument("--metrics-host", default="127.0.0.1",
+                       help="bind address of the /metrics endpoint")
     add_runtime_flags(serve, cache_size_default=64)
 
     subparsers.add_parser(
@@ -502,6 +551,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             default_seed=args.seed,
             runtime=config,
             warm_requests=warm_requests,
+            metrics_port=args.metrics_port,
+            metrics_host=args.metrics_host,
         )
     except (TypeError, ValueError) as error:
         raise SystemExit(str(error)) from error
@@ -526,6 +577,12 @@ async def _serve_until_signalled(graph, server_config) -> int:
     # machine-readable startup line: scripts launching `serve --port 0`
     # parse the ephemeral port from here (hence the explicit flush)
     print(f"repro-flow serving {graph.name or 'graph'} on {host}:{port}", flush=True)
+    if server_config.metrics_port is not None:
+        metrics_host, metrics_port = server.metrics_address
+        print(
+            f"repro-flow metrics on http://{metrics_host}:{metrics_port}/metrics",
+            flush=True,
+        )
     if server_config.warm_requests:
         print(
             f"warmed {len(server_config.warm_requests)} requests into the cache",
@@ -640,12 +697,28 @@ def _command_telemetry(args: argparse.Namespace) -> int:
             except ReproError as error:
                 raise SystemExit(f"telemetry workload failed: {error}") from error
     telemetry.close()
+    profiled = getattr(telemetry, "profiling", False)
     if args.json:
         document = {
             "spans": [root.to_dict() for root in memory.spans],
             "metrics": telemetry.snapshot(),
         }
+        if profiled:
+            from repro.telemetry.profile import (
+                format_collapsed,
+                hot_spans,
+                span_totals,
+            )
+
+            document["profile"] = {
+                "span_totals": span_totals(memory.spans),
+                "hot_spans": [
+                    {"name": name, **entry} for name, entry in hot_spans(memory.spans)
+                ],
+                "collapsed": format_collapsed(memory.spans),
+            }
         print(json.dumps(document, indent=2, default=repr))
+        _write_flame(args, memory, sys.stderr)
         return 0
     from repro.telemetry import format_span_tree
 
@@ -656,6 +729,12 @@ def _command_telemetry(args: argparse.Namespace) -> int:
     print()
     for line in _format_registry(telemetry.snapshot()):
         print(line)
+    if profiled and memory.spans:
+        from repro.telemetry.profile import format_hot_spans
+
+        print()
+        print(format_hot_spans(memory.spans))
+    _write_flame(args, memory, sys.stdout)
     trace_out = getattr(args, "trace_out", None)
     if trace_out is not None:
         print(f"span trace written to {trace_out}")
@@ -730,7 +809,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "telemetry": _command_telemetry,
         "experiment": _command_experiment,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    finally:
+        # --trace-out must never lose its file handle: when a workload
+        # subcommand raises (bad batch, SystemExit, ...), the JSONL
+        # exporter is flushed and closed here — Telemetry.close() is
+        # idempotent, so the success paths' own close is unaffected
+        telemetry, _memory = getattr(args, "trace_state", (None, None))
+        if telemetry is not None:
+            telemetry.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

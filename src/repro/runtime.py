@@ -179,6 +179,17 @@ class RuntimeConfig:
         metrics-only :class:`~repro.telemetry.Telemetry` (closed with
         the session), ``False`` pins telemetry **off** even inside an
         enabled outer scope, an instance is shared.
+    profile:
+        Resource profiling: ``True`` makes the session's telemetry a
+        :class:`~repro.telemetry.profile.ProfilingTelemetry`, so every
+        span additionally carries CPU time, tracemalloc allocation
+        deltas and GC-collection counts.  Requires telemetry (combining
+        ``profile=True`` with ``telemetry=False`` raises); when the
+        ``telemetry`` field names an instance it must already be a
+        profiling pipeline.  ``None``/``False`` leave the pipeline
+        exactly as the ``telemetry`` field says — results are
+        bit-for-bit identical either way, profiling only adds
+        measurement.
     """
 
     backend: Optional[str] = None
@@ -190,6 +201,7 @@ class RuntimeConfig:
     seed: SeedLike = None
     world_cache: CacheLike = None
     telemetry: Optional[object] = None
+    profile: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -256,6 +268,24 @@ class RuntimeConfig:
                 f"RuntimeConfig.telemetry must be None, a bool or a Telemetry "
                 f"instance, got {self.telemetry!r}"
             )
+        if self.profile is not None and not isinstance(self.profile, bool):
+            raise TypeError(
+                f"RuntimeConfig.profile must be a bool or None, got {self.profile!r}"
+            )
+        if self.profile:
+            if self.telemetry is False:
+                raise ValueError(
+                    "RuntimeConfig.profile=True requires telemetry; "
+                    "telemetry=False pins the pipeline off"
+                )
+            if isinstance(self.telemetry, Telemetry) and not getattr(
+                self.telemetry, "profiling", False
+            ):
+                raise ValueError(
+                    "RuntimeConfig.profile=True with a telemetry instance "
+                    "requires a ProfilingTelemetry; got "
+                    f"{type(self.telemetry).__name__}"
+                )
 
     def replace(self, **changes) -> "RuntimeConfig":
         """Return a copy with the named fields replaced (re-validated)."""
@@ -292,6 +322,7 @@ class RuntimeConfig:
             "seed": seed,
             "world_cache": cache,
             "telemetry": telemetry,
+            "profile": self.profile,
         }
 
 
@@ -347,15 +378,28 @@ class Session:
         else:
             self._cache = WorldCache(max_entries=spec)
         tspec = base.telemetry
-        self._owns_telemetry = tspec is True
-        if tspec is None:
-            self._telemetry = UNSET  # inherit the ambient pipeline
-        elif tspec is False:
-            self._telemetry = NULL_TELEMETRY  # pinned off in this scope
-        elif tspec is True:
-            self._telemetry = Telemetry()
+        if base.profile:
+            # profiling needs a profiling span pipeline: build an owned
+            # one for None/True specs; a passed instance is already a
+            # ProfilingTelemetry (validated by RuntimeConfig) and shared
+            from repro.telemetry.profile import ProfilingTelemetry
+
+            if tspec is None or tspec is True:
+                self._owns_telemetry = True
+                self._telemetry = ProfilingTelemetry()
+            else:
+                self._owns_telemetry = False
+                self._telemetry = tspec
         else:
-            self._telemetry = tspec
+            self._owns_telemetry = tspec is True
+            if tspec is None:
+                self._telemetry = UNSET  # inherit the ambient pipeline
+            elif tspec is False:
+                self._telemetry = NULL_TELEMETRY  # pinned off in this scope
+            elif tspec is True:
+                self._telemetry = Telemetry()
+            else:
+                self._telemetry = tspec
         self._evaluator: Optional[BatchEvaluator] = None
         # lifecycle bookkeeping: activation tokens must be reset in the
         # context that created them, so entries live on a context-local

@@ -48,6 +48,7 @@ from repro.server.protocol import (
     ERR_SHUTTING_DOWN,
     KIND_HEALTH,
     KIND_METRICS,
+    KIND_METRICS_TEXT,
     decode_line,
     encode_line,
     error_response,
@@ -67,6 +68,7 @@ __all__ = [
     "ERR_SHUTTING_DOWN",
     "KIND_HEALTH",
     "KIND_METRICS",
+    "KIND_METRICS_TEXT",
     "ReproServer",
     "ServerClient",
     "ServerConfig",

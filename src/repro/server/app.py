@@ -59,6 +59,7 @@ from repro.parallel.plan import get_default_shard_size
 from repro.runtime import RuntimeConfig, Session
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
+from repro.telemetry.expo import MetricsHTTPServer, WindowRates, render_server_text
 from repro.service.cache import get_default_world_cache
 from repro.service.evaluator import validate_request
 from repro.service.requests import (
@@ -102,8 +103,17 @@ class ServerConfig:
     warm_requests:
         Requests whose world batches are pre-sampled into the cache
         before the server starts accepting connections.
-    latency_window:
-        Sliding-window size of the latency percentile counters.
+    metrics_port:
+        When not ``None``, :meth:`ReproServer.start` additionally stands
+        up a ``/metrics`` HTTP scrape endpoint
+        (:class:`repro.telemetry.expo.MetricsHTTPServer`) on
+        ``(metrics_host, metrics_port)``; port ``0`` binds an ephemeral
+        port (read :attr:`ReproServer.metrics_address`).
+    metrics_host:
+        Bind address of the scrape endpoint.
+    rate_interval_s:
+        Period of the windowed-rate task (qps, cache hit-rate,
+        rejection-rate from snapshot deltas); ``0`` disables it.
     """
 
     host: str = "127.0.0.1"
@@ -115,7 +125,9 @@ class ServerConfig:
     default_seed: int = 0
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     warm_requests: Tuple[QueryRequest, ...] = ()
-    latency_window: int = 2048
+    metrics_port: Optional[int] = None
+    metrics_host: str = "127.0.0.1"
+    rate_interval_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -132,9 +144,13 @@ class ServerConfig:
             )
         if not isinstance(self.runtime, RuntimeConfig):
             raise TypeError(f"runtime must be a RuntimeConfig, got {self.runtime!r}")
-        if self.latency_window <= 0:
+        if self.metrics_port is not None and not (0 <= self.metrics_port <= 65535):
             raise ValueError(
-                f"latency_window must be positive, got {self.latency_window!r}"
+                f"metrics_port must be a port number, got {self.metrics_port!r}"
+            )
+        if self.rate_interval_s < 0:
+            raise ValueError(
+                f"rate_interval_s must be >= 0, got {self.rate_interval_s!r}"
             )
         object.__setattr__(self, "warm_requests", tuple(self.warm_requests))
 
@@ -186,9 +202,10 @@ class ReproServer:
         self.telemetry = (
             session_telemetry if session_telemetry is not None else get_default_telemetry()
         )
-        self.metrics = ServerMetrics(
-            latency_window=base.latency_window, telemetry=self.telemetry
-        )
+        self.metrics = ServerMetrics(telemetry=self.telemetry)
+        self._window_rates = WindowRates()
+        self._metrics_http: Optional[MetricsHTTPServer] = None
+        self._rates_task: Optional[asyncio.Task] = None
         self._sessions: Dict[str, Session] = {DEFAULT_TENANT: self._root}
         self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue()
         self._inflight = 0
@@ -234,6 +251,18 @@ class ReproServer:
             self._handle_connection, host=self.config.host, port=self.config.port
         )
         self._started_at = time.monotonic()
+        if self.config.metrics_port is not None:
+            self._metrics_http = MetricsHTTPServer(
+                self.metrics_text,
+                host=self.config.metrics_host,
+                port=self.config.metrics_port,
+            ).start()
+        if self.config.rate_interval_s > 0:
+            # seed the rate baseline now so the first tick has a window
+            self._update_rates()
+            self._rates_task = asyncio.create_task(
+                self._rates_loop(), name="repro-server-rates"
+            )
         return self
 
     async def serve_forever(self) -> None:
@@ -259,6 +288,13 @@ class ReproServer:
             return
         self._stopped = True
         self._draining = True
+        if self._metrics_http is not None:
+            self._metrics_http.stop()
+            self._metrics_http = None
+        if self._rates_task is not None:
+            self._rates_task.cancel()
+            await asyncio.gather(self._rates_task, return_exceptions=True)
+            self._rates_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -371,6 +407,38 @@ class ReproServer:
         )
         return payload
 
+    def metrics_text(self) -> str:
+        """The merged observability payload as Prometheus exposition text.
+
+        Thread-safe (the scrape endpoint calls it from HTTP handler
+        threads); both serving paths — the ``metrics_text`` control kind
+        and the ``/metrics`` HTTP endpoint — render through here, so
+        they always agree.
+        """
+        return render_server_text(self._metrics_payload())
+
+    @property
+    def metrics_address(self) -> Tuple[str, int]:
+        """Bound ``(host, port)`` of the ``/metrics`` scrape endpoint."""
+        if self._metrics_http is None:
+            raise RuntimeError("metrics endpoint is not enabled/started")
+        return self._metrics_http.address
+
+    def _update_rates(self) -> None:
+        self.metrics.set_rates(
+            self._window_rates.update(time.monotonic(), self._metrics_payload())
+        )
+
+    async def _rates_loop(self) -> None:
+        """Periodically fold lifetime totals into windowed rate gauges."""
+        interval = self.config.rate_interval_s
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                self._update_rates()
+            except Exception:  # pragma: no cover - defensive
+                logger.exception("windowed-rate update failed")
+
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
@@ -396,6 +464,12 @@ class ReproServer:
         if kind == protocol.KIND_METRICS:
             self.metrics.observe_control()
             return protocol.ok_response(request_id, self._metrics_payload())
+        if kind == protocol.KIND_METRICS_TEXT:
+            self.metrics.observe_control()
+            return protocol.ok_response(
+                request_id,
+                {"kind": protocol.KIND_METRICS_TEXT, "text": self.metrics_text()},
+            )
         tenant = payload.pop("tenant", DEFAULT_TENANT)
         if not isinstance(tenant, str):
             self.metrics.observe_bad_request()

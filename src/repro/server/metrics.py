@@ -2,8 +2,14 @@
 
 :class:`ServerMetrics` aggregates everything the ``metrics`` control
 kind reports that the server itself owns — request outcomes, coalescing
-effectiveness, and a bounded sliding window of per-request latencies
-from which the percentile fields (p50/p95/p99) are computed.  Cache and
+effectiveness, and a fixed-bucket latency histogram from which the
+percentile fields (p50/p95/p99) are interpolated via
+:meth:`~repro.telemetry.registry.Histogram.quantile`.  The histogram
+replaced the earlier bounded sliding window of raw latencies: constant
+memory regardless of traffic, no per-snapshot sort, and the same
+estimator the Prometheus exposition layer
+(:mod:`repro.telemetry.expo`) serves, so a scrape and a ``metrics``
+control response can never disagree about a percentile.  Cache and
 executor statistics are *not* duplicated here; the server overlays
 ``WorldCache.stats()`` and the executor's worker/shard configuration
 into the same snapshot at report time, so one ``metrics`` response is
@@ -18,25 +24,29 @@ When the server runs with a live :class:`repro.telemetry.Telemetry`
 pipeline, every mutator additionally forwards into its shared
 :class:`~repro.telemetry.registry.MetricsRegistry` under ``server.*``
 names, so one registry snapshot spans engine, executor, caches *and*
-the serving tier; :meth:`ServerMetrics.snapshot` stays the
-latency-percentile view it always was.
+the serving tier.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from collections import deque
 from typing import Dict, Optional
 
 from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.registry import Histogram
 
 #: Coalesced-batch-size histogram bounds (batches are small by design).
 _BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 def percentile(sorted_values, q: float) -> Optional[float]:
-    """Nearest-rank percentile of an ascending sequence (``None`` if empty)."""
+    """Nearest-rank percentile of an ascending sequence (``None`` if empty).
+
+    Retained as a standalone helper (benchmarks summarize raw latency
+    lists with it); :class:`ServerMetrics` itself now interpolates
+    percentiles from its histogram buckets.
+    """
     if not sorted_values:
         return None
     rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
@@ -48,10 +58,6 @@ class ServerMetrics:
 
     Parameters
     ----------
-    latency_window:
-        Number of most-recent request latencies retained for the
-        percentile fields.  Totals (counts, means) cover the server's
-        whole lifetime; percentiles describe the window.
     telemetry:
         A :class:`repro.telemetry.Telemetry` pipeline to forward every
         counter into (``server.*`` registry names).  Defaults to the
@@ -59,13 +65,7 @@ class ServerMetrics:
         per mutator.
     """
 
-    def __init__(
-        self,
-        latency_window: int = 2048,
-        telemetry: Optional[Telemetry] = None,
-    ) -> None:
-        if latency_window <= 0:
-            raise ValueError(f"latency_window must be positive, got {latency_window!r}")
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._lock = threading.Lock()
         #: query requests admitted to the coalescing queue
@@ -85,9 +85,13 @@ class ServerMetrics:
         self.batches = 0
         self.batched_requests = 0
         self.largest_batch = 0
-        self._latencies: deque = deque(maxlen=latency_window)
-        self._latency_total = 0.0
-        self._latency_count = 0
+        # private (never shared with a telemetry registry): percentiles
+        # must work with telemetry disabled, and a shared instrument
+        # could be reset out from under us
+        self._latency_hist = Histogram("server.latency_seconds")
+        #: windowed rates published by the server's periodic
+        #: snapshot-delta task (:class:`repro.telemetry.expo.WindowRates`)
+        self._rates: Optional[Dict[str, Optional[float]]] = None
 
     # ------------------------------------------------------------------
     # mutators
@@ -103,9 +107,7 @@ class ServerMetrics:
         with self._lock:
             self.answered += 1
             self.answered_by_kind[kind] = self.answered_by_kind.get(kind, 0) + 1
-            self._latencies.append(latency_seconds)
-            self._latency_total += latency_seconds
-            self._latency_count += 1
+        self._latency_hist.observe(latency_seconds)
         tel = self._telemetry
         if tel.enabled:
             tel.count("server.answered")
@@ -150,14 +152,20 @@ class ServerMetrics:
             tel.count("server.batched_requests", size)
             tel.observe("server.batch_size", size, bounds=_BATCH_SIZE_BUCKETS)
 
+    def set_rates(self, rates: Optional[Dict[str, Optional[float]]]) -> None:
+        """Publish the latest windowed rates into the snapshot."""
+        with self._lock:
+            self._rates = dict(rates) if rates is not None else None
+
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """One consistent view of every counter (all numbers JSON-safe)."""
+        hist = self._latency_hist.summary()
         with self._lock:
-            window = sorted(self._latencies)
             batches = self.batches
+            rates = dict(self._rates) if self._rates is not None else None
             snapshot: Dict[str, object] = {
                 "requests": {
                     "admitted": self.admitted,
@@ -176,22 +184,21 @@ class ServerMetrics:
                         self.batched_requests / batches if batches else None
                     ),
                 },
-                "latency_ms": {
-                    "count": self._latency_count,
-                    "window": len(window),
-                    "mean": (
-                        1000.0 * self._latency_total / self._latency_count
-                        if self._latency_count
-                        else None
-                    ),
-                },
             }
-        latency: Dict[str, object] = snapshot["latency_ms"]  # type: ignore[assignment]
-        for name, q in (("p50", 50.0), ("p95", 95.0), ("p99", 99.0)):
-            value = percentile(window, q)
+        count = hist["count"]
+        mean = hist["mean"]
+        latency: Dict[str, object] = {
+            "count": count,
+            "mean": None if mean is None else 1000.0 * float(mean),
+        }
+        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            value = self._latency_hist.quantile(q)
             latency[name] = None if value is None else 1000.0 * value
-        peak = window[-1] if window else None
-        latency["max"] = None if peak is None else 1000.0 * peak
+        peak = hist["max"]
+        latency["max"] = None if peak is None else 1000.0 * float(peak)
+        snapshot["latency_ms"] = latency
+        if rates is not None:
+            snapshot["rates"] = rates
         return snapshot
 
 

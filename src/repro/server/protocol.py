@@ -19,7 +19,10 @@ even when the server is saturated or draining:
 * ``{"kind": "health"}`` → liveness plus the served graph's shape;
 * ``{"kind": "metrics"}`` → the observability snapshot
   (request/latency counters, coalescing stats, ``WorldCache.stats()``,
-  executor workers/shard size).
+  executor workers/shard size);
+* ``{"kind": "metrics_text"}`` → the same snapshot rendered as
+  Prometheus exposition text (the ``text`` response field) — byte-for-
+  byte what the ``/metrics`` HTTP scrape endpoint serves.
 
 Every response carries ``"ok"``.  Success::
 
@@ -48,7 +51,8 @@ from typing import Dict, Optional
 #: Control request kinds, answered inline on the event loop.
 KIND_HEALTH = "health"
 KIND_METRICS = "metrics"
-CONTROL_KINDS = (KIND_HEALTH, KIND_METRICS)
+KIND_METRICS_TEXT = "metrics_text"
+CONTROL_KINDS = (KIND_HEALTH, KIND_METRICS, KIND_METRICS_TEXT)
 
 #: Error ``type`` values a client can dispatch on.
 ERR_BAD_REQUEST = "bad_request"
@@ -124,6 +128,7 @@ __all__ = [
     "ERR_SHUTTING_DOWN",
     "KIND_HEALTH",
     "KIND_METRICS",
+    "KIND_METRICS_TEXT",
     "decode_line",
     "encode_line",
     "error_response",

@@ -24,9 +24,17 @@ or process-wide via ``repro.runtime.defaults.telemetry = True`` (raw
 specs — ``True``, a JSONL path, ``"log"`` — are normalized lazily), or
 without touching code via the ``REPRO_TELEMETRY`` environment variable.
 
-On the CLI: ``--trace`` / ``--trace-out`` on the workload subcommands,
-and ``repro-flow telemetry`` runs a workload and dumps the registry and
-the span tree.
+On the CLI: ``--trace`` / ``--trace-out`` / ``--profile`` on the
+workload subcommands, and ``repro-flow telemetry`` runs a workload and
+dumps the registry and the span tree.
+
+Two optional companions build on this core:
+
+* :mod:`repro.telemetry.profile` — opt-in resource profiling
+  (:class:`ProfilingTelemetry`): per-span CPU/allocation/GC deltas,
+  self-vs-cumulative attribution, collapsed-stack (flamegraph) export;
+* :mod:`repro.telemetry.expo` — Prometheus-text exposition of registry
+  snapshots, the ``/metrics`` HTTP scrape endpoint, and windowed rates.
 """
 
 from repro.telemetry.core import (
@@ -40,6 +48,24 @@ from repro.telemetry.core import (
     telemetry_from_spec,
     traced,
 )
+from repro.telemetry.expo import (
+    MetricsHTTPServer,
+    WindowRates,
+    render_registry,
+    render_server_text,
+    sanitize_metric_name,
+)
+from repro.telemetry.profile import (
+    ProfileSpanRecord,
+    ProfilingTelemetry,
+    collapsed_stacks,
+    format_collapsed,
+    format_hot_spans,
+    hot_spans,
+    parse_collapsed,
+    span_totals,
+    totals_from_collapsed,
+)
 from repro.telemetry.registry import (
     DEFAULT_SIZE_BUCKETS,
     DEFAULT_TIME_BUCKETS,
@@ -47,6 +73,7 @@ from repro.telemetry.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
 )
 from repro.telemetry.spans import (
     InMemoryExporter,
@@ -70,17 +97,32 @@ __all__ = [
     "InMemoryExporter",
     "JSONLExporter",
     "LoggingExporter",
+    "MetricsHTTPServer",
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "ProfileSpanRecord",
+    "ProfilingTelemetry",
     "SpanRecord",
     "Telemetry",
+    "WindowRates",
+    "bucket_quantile",
+    "collapsed_stacks",
     "current_telemetry",
+    "format_collapsed",
+    "format_hot_spans",
     "format_span_tree",
     "get_default_telemetry",
+    "hot_spans",
     "install_env_telemetry",
     "iter_spans",
+    "parse_collapsed",
+    "render_registry",
+    "render_server_text",
     "resolve_telemetry",
+    "sanitize_metric_name",
+    "span_totals",
     "telemetry_from_spec",
+    "totals_from_collapsed",
     "traced",
 ]

@@ -46,6 +46,40 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
 
+def bucket_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    lo: float,
+    hi: float,
+    q: float,
+) -> Optional[float]:
+    """Linear-interpolated quantile from per-bucket counts.
+
+    ``counts`` has one entry per bound plus the trailing overflow bucket;
+    ``lo``/``hi`` are the exact observed min/max used to clamp the
+    interpolated estimate (and to resolve the first and overflow buckets,
+    which have no finite lower/upper bound of their own).
+    """
+    if count == 0:
+        return None
+    target = q * count
+    cumulative = 0
+    for i, bound in enumerate(bounds):
+        bucket_count = counts[i]
+        if bucket_count == 0:
+            cumulative += bucket_count
+            continue
+        if cumulative + bucket_count >= target:
+            lower = bounds[i - 1] if i > 0 else min(lo, bound)
+            estimate = lower + (target - cumulative) / bucket_count * (bound - lower)
+            return min(max(estimate, lo), hi)
+        cumulative += bucket_count
+    # target rank lands in the overflow bucket: no finite upper bound to
+    # interpolate against, so report the exact maximum
+    return hi
+
+
 class Counter:
     """A monotonically increasing integer metric."""
 
@@ -124,6 +158,25 @@ class Histogram:
     def count(self) -> int:
         with self._lock:
             return self._count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket holding the target rank —
+        the same estimate ``histogram_quantile`` computes in PromQL —
+        clamped to the exactly tracked ``[min, max]`` so small samples
+        cannot report a value outside what was observed.  ``None`` on an
+        empty histogram.  Observations in the overflow bucket resolve to
+        the exact maximum (there is no upper bound to interpolate
+        against).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+            lo, hi = self._min, self._max
+        return bucket_quantile(self.bounds, counts, count, lo, hi, q)
 
     def summary(self) -> Dict[str, object]:
         """JSON-safe snapshot: count/sum/mean/min/max plus bucket counts."""

@@ -147,7 +147,7 @@ class TestServerMetrics:
         assert percentile([7.0], 99.0) == 7.0
 
     def test_snapshot_shape(self):
-        metrics = ServerMetrics(latency_window=4)
+        metrics = ServerMetrics()
         metrics.observe_admitted()
         metrics.observe_answered("expected_flow", 0.002)
         metrics.observe_answered("pair_reachability", 0.004)
@@ -167,18 +167,26 @@ class TestServerMetrics:
             "mean_batch_size": 2.0,
         }
         assert snap["latency_ms"]["count"] == 2
-        assert snap["latency_ms"]["p50"] == pytest.approx(2.0)
+        # percentiles are interpolated from the histogram buckets and
+        # clamped to the exactly tracked [min, max]: 2ms lands in the
+        # (1ms, 2.5ms] bucket (p50 -> 2.5ms), p99 clamps to the 4ms max
+        assert snap["latency_ms"]["p50"] == pytest.approx(2.5)
         assert snap["latency_ms"]["p99"] == pytest.approx(4.0)
         assert snap["latency_ms"]["max"] == pytest.approx(4.0)
 
-    def test_window_bounds_percentiles_not_totals(self):
-        metrics = ServerMetrics(latency_window=2)
+    def test_percentiles_interpolate_and_clamp_to_observed_range(self):
+        metrics = ServerMetrics()
         for latency in (0.001, 0.002, 0.009):
             metrics.observe_answered("expected_flow", latency)
         snap = metrics.snapshot()
         assert snap["latency_ms"]["count"] == 3
-        assert snap["latency_ms"]["window"] == 2
-        assert snap["latency_ms"]["p50"] == pytest.approx(2.0)
+        # rank 1.5 of 3 falls halfway into the (1ms, 2.5ms] bucket
+        assert snap["latency_ms"]["p50"] == pytest.approx(1.75)
+        # no estimate may leave the observed range
+        assert snap["latency_ms"]["p99"] <= snap["latency_ms"]["max"]
+        assert snap["latency_ms"]["max"] == pytest.approx(9.0)
+        # constant memory: no sliding window is retained anymore
+        assert "window" not in snap["latency_ms"]
 
 
 class TestServerConfigValidation:
