@@ -25,8 +25,14 @@ legs::
 
 The same diff covers ``BENCH_selection.json`` (bare ``speedup`` per
 ``algorithm`` row), ``BENCH_queries.json`` (``cold_speedup`` /
-``warm_speedup``) and ``BENCH_parallel.json`` (``workers*_speedup``
-under ``sharded_rows``).
+``warm_speedup``), ``BENCH_parallel.json`` (``workers*_speedup`` under
+``sharded_rows``) and ``BENCH_distributed.json`` (``remote*_speedup``).
+
+Exit codes separate the two failure families: **1** means a genuine
+ratio regression; **2** means the comparison itself could not run — a
+missing or unparseable JSON file, no overlapping rows, or no shared
+ratio fields (stale baseline / wrong file pairing, usually fixed by
+``python benchmarks/refresh_baselines.py``).
 """
 
 from __future__ import annotations
@@ -72,17 +78,33 @@ def index_rows(report: dict) -> Dict[Tuple[int, int, str], dict]:
     return indexed
 
 
+class ComparisonUnusableError(Exception):
+    """The diff could not run at all (as opposed to finding a regression).
+
+    Raised for disjoint row sets or overlapping rows with no shared
+    ratio fields — both mean the baseline and the fresh report do not
+    describe the same benchmark (stale baseline, wrong file pairing),
+    not that performance moved.  Mapped to exit code 2.
+    """
+
+
 def compare(baseline: dict, fresh: dict, tolerance: float) -> List[str]:
-    """Return a list of human-readable failure messages (empty = pass)."""
+    """Return a list of human-readable failure messages (empty = pass).
+
+    Raises :class:`ComparisonUnusableError` when the two reports have
+    nothing comparable.
+    """
     failures: List[str] = []
     baseline_rows = index_rows(baseline)
     fresh_rows = index_rows(fresh)
     overlap = sorted(set(baseline_rows) & set(fresh_rows))
     if not overlap:
-        return [
-            "no overlapping (n_vertices, n_samples) rows between baseline "
-            f"({sorted(baseline_rows)}) and fresh report ({sorted(fresh_rows)})"
-        ]
+        raise ComparisonUnusableError(
+            "no overlapping (n_vertices, n_samples, algorithm) rows between "
+            f"the baseline rows {sorted(baseline_rows)} and the fresh rows "
+            f"{sorted(fresh_rows)}; the baseline is stale or the files are "
+            f"mismatched — regenerate with 'python benchmarks/refresh_baselines.py'"
+        )
 
     compared = 0
     for key in overlap:
@@ -99,7 +121,12 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> List[str]:
                     f"(baseline {base_ratios[field]:.2f}x - {tolerance:.0%})"
                 )
     if compared == 0:
-        failures.append("overlapping rows share no ratio fields — nothing was compared")
+        raise ComparisonUnusableError(
+            "overlapping rows share no ratio fields — nothing was compared; "
+            "the baseline and fresh report come from different benchmarks, "
+            "or the baseline predates the current report format — regenerate "
+            "with 'python benchmarks/refresh_baselines.py'"
+        )
     return failures
 
 
@@ -115,9 +142,27 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = json.loads(args.baseline.read_text())
-    fresh = json.loads(args.fresh.read_text())
-    failures = compare(baseline, fresh, args.tolerance)
+    reports = {}
+    for label, path in (("baseline", args.baseline), ("fresh", args.fresh)):
+        try:
+            reports[label] = json.loads(path.read_text())
+        except FileNotFoundError:
+            hint = (
+                " — regenerate checked-in baselines with "
+                "'python benchmarks/refresh_baselines.py'"
+                if label == "baseline"
+                else " — run the benchmark with --json first"
+            )
+            print(f"ERROR: {label} report {path} does not exist{hint}")
+            return 2
+        except (OSError, ValueError) as error:
+            print(f"ERROR: {label} report {path} is not readable JSON: {error}")
+            return 2
+    try:
+        failures = compare(reports["baseline"], reports["fresh"], args.tolerance)
+    except ComparisonUnusableError as error:
+        print(f"ERROR: cannot compare {args.fresh} against {args.baseline}: {error}")
+        return 2
     if failures:
         print(f"PERF REGRESSION vs {args.baseline}:")
         for failure in failures:

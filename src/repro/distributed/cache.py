@@ -1,0 +1,183 @@
+"""Consistent-hash ring sharding the world cache across a worker fleet.
+
+Two pieces:
+
+* :class:`HashRing` — the textbook consistent-hash ring (virtual nodes,
+  stable :func:`repro.digest.stable_digest` points, clockwise ownership)
+  mapping 128-bit key digests onto fleet members.  A worker joining or
+  leaving remaps only the keys adjacent to its points — on average
+  ``1/n`` of the space — instead of reshuffling everything, which is the
+  whole reason warm worlds survive fleet churn.
+* :class:`RingWorldCache` — a drop-in :class:`~repro.service.WorldCache`
+  (every ``resolve_cache``/``Session``/``BatchEvaluator`` site accepts
+  it unchanged) whose entries live *on the workers*: ``put`` encodes the
+  batch through the wire codec and ships it to the key's ring owner,
+  ``get`` fetches and decodes it back bit-for-bit.  The inherited local
+  LRU serves as the degraded mode — with no workers connected the cache
+  still works, just fleet-privately.
+
+The cache is an optimisation layer and fails soft by design: an RPC
+timeout, a dead owner or an unencodable batch degrades to a miss (or a
+local store), never an error — a re-sample costs time, not correctness,
+because the key pins ``(graph, edges, source, backend, seed, n_samples,
+shard_size)`` and re-sampling under that key reproduces the same bits.
+
+``invalidate_graph`` keeps its safety contract across the fleet: the
+local drop (and graph-layout invalidation) happens synchronously, and a
+``cache_invalidate`` fan-out reclaims the remote shards.  The returned
+count covers local entries only — remote drops happen asynchronously on
+the workers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import logging
+from typing import Dict, List, Optional, Union
+
+from repro.digest import graph_digest, stable_digest
+from repro.exceptions import WireFormatError
+from repro.reachability.engine import WorldBatch
+from repro.service.cache import WorldCache, WorldKey
+from repro.telemetry import current_telemetry
+from repro.distributed import wire
+
+logger = logging.getLogger(__name__)
+
+#: The digest space the ring covers (stable_digest is 128-bit).
+RING_SPACE = 1 << 128
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes over the 128-bit digest space.
+
+    ``replicas`` virtual points per node smooth the ownership
+    distribution (the classic variance fix); ownership of a key digest
+    is the first point clockwise from it.  Not thread-safe on its own —
+    the :class:`~repro.distributed.RemoteExecutor` guards it with its
+    fleet lock.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas!r}")
+        self.replicas = int(replicas)
+        self._nodes: Dict[object, object] = {}
+        self._points: List[int] = []
+        self._owners: List[object] = []
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def add(self, node_id: object, node: object) -> None:
+        """Register ``node`` under ``node_id`` (idempotent)."""
+        if node_id in self._nodes:
+            self._nodes[node_id] = node
+            return
+        self._nodes[node_id] = node
+        for replica in range(self.replicas):
+            point = stable_digest(("ring-point", node_id, replica))
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node_id)
+
+    def remove(self, node_id: object) -> None:
+        """Forget ``node_id``; only its own points leave the ring."""
+        if self._nodes.pop(node_id, None) is None:
+            return
+        keep = [i for i, owner in enumerate(self._owners) if owner != node_id]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def node_for(self, digest: int) -> Optional[object]:
+        """The node owning ``digest`` (``None`` on an empty ring)."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, int(digest) % RING_SPACE)
+        if index == len(self._points):
+            index = 0  # wrap: the smallest point owns the top arc
+        return self._nodes[self._owners[index]]
+
+    def nodes(self) -> List[object]:
+        return list(self._nodes.values())
+
+
+class RingWorldCache(WorldCache):
+    """A :class:`WorldCache` whose entries shard over a worker fleet.
+
+    Parameters
+    ----------
+    executor:
+        The :class:`~repro.distributed.RemoteExecutor` whose fleet backs
+        the ring (membership tracks worker joins/deaths automatically).
+    max_entries:
+        Bound of the *local fallback* LRU used while no workers are
+        connected; remote shards are bounded worker-side.
+    """
+
+    _metric_prefix = "cache.ring"
+
+    def __init__(self, executor, max_entries: Optional[int] = 64) -> None:
+        super().__init__(max_entries=max_entries)
+        self._executor = executor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RingWorldCache executor={self._executor!r} "
+            f"hits={self.hits} misses={self.misses}>"
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, key: WorldKey) -> Optional[WorldBatch]:
+        payload = self._executor.cache_fetch(key.digest)
+        if payload is not None:
+            try:
+                batch = wire.decode_world_batch(payload)
+            except WireFormatError as error:
+                logger.warning("dropping undecodable ring entry: %s", error)
+            else:
+                with self._lock:
+                    self.hits += 1
+                tel = current_telemetry()
+                if tel.enabled:
+                    tel.count(f"{self._metric_prefix}.hits")
+                return batch
+        # miss (or no ring / degraded fetch): the inherited local LRU is
+        # the second chance, and it does the miss accounting
+        return super().get(key)
+
+    def put(self, key: WorldKey, batch: WorldBatch) -> None:
+        try:
+            entry = wire.encode_world_batch(batch)
+        except WireFormatError as error:
+            # unencodable batches (exotic vertex ids) stay fleet-private
+            logger.warning("world batch not wire-encodable, caching locally: %s", error)
+            super().put(key, batch)
+            return
+        if self._executor.cache_store(key.digest, key.graph_digest, entry):
+            tel = current_telemetry()
+            if tel.enabled:
+                tel.count(f"{self._metric_prefix}.puts")
+            return
+        super().put(key, batch)  # empty ring: keep it locally
+
+    # ------------------------------------------------------------------
+    def invalidate_graph(self, graph_or_digest: Union[int, object]) -> int:
+        digest = (
+            graph_or_digest
+            if isinstance(graph_or_digest, int)
+            else graph_digest(graph_or_digest)
+        )
+        dropped = super().invalidate_graph(digest)
+        self._executor.cache_invalidate_all(digest)
+        return dropped
+
+    def clear(self) -> None:
+        super().clear()
+        self._executor.cache_clear_all()
+
+
+__all__ = ["HashRing", "RING_SPACE", "RingWorldCache"]

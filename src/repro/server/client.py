@@ -12,6 +12,12 @@ connection::
     health = await client.health()
     await client.close()
 
+A dead or wedged peer no longer hangs the caller forever: ``connect``
+and every request accept a deadline (``connect_timeout`` /
+``read_timeout``, overridable per call) and raise the typed
+:class:`~repro.exceptions.TransportTimeoutError` when it expires —
+``timeout=None`` keeps the historical wait-forever behaviour.
+
 It exists for the benchmark harness, the test suite, and as executable
 documentation of the wire format; production callers on other stacks
 need nothing beyond a line-oriented socket and a JSON codec.
@@ -23,15 +29,36 @@ import asyncio
 import itertools
 from typing import Dict, Optional
 
+from repro.exceptions import TransportTimeoutError
 from repro.server import protocol
+
+#: Sentinel distinguishing "use the client default" from an explicit
+#: ``timeout=None`` (wait forever) on per-request overrides.
+_USE_DEFAULT = object()
 
 
 class ServerClient:
-    """One JSONL connection with id-based response correlation."""
+    """One JSONL connection with id-based response correlation.
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    Parameters
+    ----------
+    read_timeout:
+        Default deadline in seconds for every awaited response;
+        ``None`` waits forever (the pre-timeout behaviour).  On expiry
+        the request's waiter is withdrawn and
+        :class:`TransportTimeoutError` raised — a late response then
+        lands on :attr:`unmatched` instead of leaking a future.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        read_timeout: Optional[float] = None,
+    ) -> None:
         self._reader = reader
         self._writer = writer
+        self.read_timeout = read_timeout
         self._ids = itertools.count(1)
         self._waiting: Dict[object, asyncio.Future] = {}
         #: responses with no waiting request (unsolicited / ``id``-less
@@ -40,9 +67,24 @@ class ServerClient:
         self._pump = asyncio.create_task(self._pump_responses())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServerClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+    ) -> "ServerClient":
+        """Open a connection (``TransportTimeoutError`` past the deadline)."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=connect_timeout
+            )
+        except asyncio.TimeoutError as error:
+            raise TransportTimeoutError(
+                f"connecting to {host}:{port}", connect_timeout or 0.0
+            ) from error
+        return cls(reader, writer, read_timeout=read_timeout)
 
     async def _pump_responses(self) -> None:
         try:
@@ -64,19 +106,41 @@ class ServerClient:
                     future.set_exception(ConnectionError("server closed the connection"))
             self._waiting.clear()
 
-    async def request(self, payload: dict, tenant: Optional[str] = None) -> dict:
-        """Send one request object and await its correlated response."""
+    async def request(
+        self,
+        payload: dict,
+        tenant: Optional[str] = None,
+        timeout: object = _USE_DEFAULT,
+    ) -> dict:
+        """Send one request object and await its correlated response.
+
+        ``timeout`` overrides the client's :attr:`read_timeout` for this
+        call; pass ``None`` explicitly to wait forever.
+        """
+        deadline = self.read_timeout if timeout is _USE_DEFAULT else timeout
         request_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
         self._waiting[request_id] = future
         self._writer.write(protocol.request_line(payload, request_id=request_id, tenant=tenant))
         await self._writer.drain()
-        return await future
+        if deadline is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout=deadline)
+        except asyncio.TimeoutError as error:
+            # withdraw the waiter so a late response cannot resolve a
+            # future nobody awaits (it surfaces on `unmatched` instead)
+            self._waiting.pop(request_id, None)
+            raise TransportTimeoutError(
+                f"waiting for the response to request {request_id}", deadline
+            ) from error
 
     # convenience wrappers -------------------------------------------------
-    async def query(self, payload: dict, tenant: Optional[str] = None) -> dict:
+    async def query(
+        self, payload: dict, tenant: Optional[str] = None, timeout: object = _USE_DEFAULT
+    ) -> dict:
         """Alias of :meth:`request` for query payloads (readability)."""
-        return await self.request(payload, tenant=tenant)
+        return await self.request(payload, tenant=tenant, timeout=timeout)
 
     async def health(self) -> dict:
         return await self.request({"kind": protocol.KIND_HEALTH})

@@ -105,8 +105,13 @@ class TestExecutors:
             make_executor(0)
         with pytest.raises(TypeError):
             make_executor(True)
-        with pytest.raises(TypeError):
+        # strings are remote specs now; anything else is a malformed value
+        with pytest.raises(ValueError):
             make_executor("four")
+        with pytest.raises(ValueError):
+            make_executor("remote:nope")
+        with pytest.raises(TypeError):
+            make_executor(3.5)
 
     def test_process_executor_rejects_nonpositive_workers(self):
         with pytest.raises(ValueError):

@@ -47,6 +47,8 @@ EXPECTED_PUBLIC_API = sorted(
         "ReproServer",
         "ServerClient",
         "ServerConfig",
+        # distributed execution tier
+        "RemoteExecutor",
         # F-tree
         "FTree",
         "ComponentSampler",

@@ -741,3 +741,103 @@ class TestServeHelper:
                 await server.stop()
 
         run(scenario())
+
+
+class TestClientTimeouts:
+    """A dead or wedged peer raises the typed timeout, never hangs."""
+
+    def test_wedged_server_read_timeout_raises_typed_error(self):
+        from repro.exceptions import TransportTimeoutError
+
+        async def scenario():
+            async def accept_and_stall(reader, writer):
+                await reader.readline()  # swallow the request, never answer
+
+            silent = await asyncio.start_server(
+                accept_and_stall, "127.0.0.1", 0
+            )
+            host, port = silent.sockets[0].getsockname()[:2]
+            client = await ServerClient.connect(host, port)
+            try:
+                with pytest.raises(TransportTimeoutError) as excinfo:
+                    await client.request({"kind": "health"}, timeout=0.1)
+                assert excinfo.value.timeout == 0.1
+                assert isinstance(excinfo.value, TimeoutError)
+                # the withdrawn waiter must not leak: a second request on
+                # the same connection still times out cleanly
+                with pytest.raises(TransportTimeoutError):
+                    await client.request({"kind": "health"}, timeout=0.1)
+            finally:
+                await client.close()
+                silent.close()
+                await silent.wait_closed()
+
+        run(scenario())
+
+    def test_client_default_read_timeout_applies_to_every_request(self):
+        from repro.exceptions import TransportTimeoutError
+
+        async def scenario():
+            async def accept_and_stall(reader, writer):
+                await reader.readline()
+
+            silent = await asyncio.start_server(
+                accept_and_stall, "127.0.0.1", 0
+            )
+            host, port = silent.sockets[0].getsockname()[:2]
+            client = await ServerClient.connect(host, port, read_timeout=0.1)
+            try:
+                with pytest.raises(TransportTimeoutError):
+                    await client.health()
+            finally:
+                await client.close()
+                silent.close()
+                await silent.wait_closed()
+
+        run(scenario())
+
+    def test_timeout_none_keeps_the_historical_wait(self, graph):
+        async def scenario():
+            server = await start_server(graph)
+            host, port = server.address
+            client = await ServerClient.connect(
+                host, port, read_timeout=0.0001  # would expire instantly...
+            )
+            try:
+                # ...but an explicit None overrides the default and waits
+                response = await client.request({"kind": "health"}, timeout=None)
+            finally:
+                await client.close()
+                await server.stop()
+            return response
+
+        response = run(scenario())
+        assert response["status"] == "ok"
+
+    def test_connect_timeout_raises_typed_error(self):
+        from repro.exceptions import TransportTimeoutError
+
+        async def scenario():
+            # a bound-but-unaccepted socket: SYN backlog fills and the
+            # connect attempt can only resolve via the deadline
+            blocker = socket.socket()
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(0)
+            host, port = blocker.getsockname()
+            saturate = [socket.socket() for _ in range(4)]
+            try:
+                for s in saturate:
+                    s.setblocking(False)
+                    try:
+                        s.connect((host, port))
+                    except BlockingIOError:
+                        pass
+                with pytest.raises(TransportTimeoutError) as excinfo:
+                    await ServerClient.connect(host, port, connect_timeout=0.2)
+                assert "connecting to" in str(excinfo.value)
+            finally:
+                for s in saturate:
+                    s.close()
+                blocker.close()
+
+        run(scenario())
